@@ -1,0 +1,172 @@
+// Repository benchmark harness: one testing.B benchmark per table and
+// figure of the paper's evaluation, plus the ablation benches of DESIGN.md
+// §4 and micro-benchmarks of the pipeline stages. Each experiment bench
+// executes the corresponding driver once per iteration (the default 1 s
+// benchtime yields exactly one run) and prints the regenerated rows on the
+// first iteration, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation at CI scale; FEXIOT_SCALE=paper scales the
+// datasets to Table I's exact counts.
+package fexiot_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fexiot"
+	"fexiot/internal/experiments"
+)
+
+var printOnce sync.Map
+
+// runExperiment executes one registered experiment per b.N iteration and
+// prints its output the first time.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	setup := experiments.DefaultSetup()
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Run(id, setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, dup := printOnce.LoadOrStore(id, true); !dup {
+			fmt.Println(out)
+		}
+	}
+}
+
+// --- One benchmark per table / figure ------------------------------------
+
+// BenchmarkTableI regenerates the dataset statistics of Table I.
+func BenchmarkTableI(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig3 regenerates the correlation-classifier comparison (Fig. 3).
+func BenchmarkFig3(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates the federated comparison sweep (Fig. 4).
+func BenchmarkFig4(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates the scalability box plots (Fig. 5).
+func BenchmarkFig5(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates the clustering/drift analysis (Fig. 6).
+func BenchmarkFig6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkTableII regenerates the testbed system comparison (Table II).
+func BenchmarkTableII(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig7 regenerates the communication-cost comparison (Fig. 7).
+func BenchmarkFig7(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates the qualitative explanation examples (Fig. 8).
+func BenchmarkFig8(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates the fidelity/sparsity comparison (Fig. 9).
+func BenchmarkFig9(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkTableIII regenerates the runtime-efficiency table (Table III).
+func BenchmarkTableIII(b *testing.B) { runExperiment(b, "table3") }
+
+// --- Ablation benches (DESIGN.md §4) --------------------------------------
+
+// BenchmarkAblationLayerwise contrasts layer-wise vs whole-model clustering.
+func BenchmarkAblationLayerwise(b *testing.B) { runExperiment(b, "ablation-layerwise") }
+
+// BenchmarkAblationContrastive contrasts Eq. (2) vs supervised CE.
+func BenchmarkAblationContrastive(b *testing.B) { runExperiment(b, "ablation-contrastive") }
+
+// BenchmarkAblationBeam sweeps the MCBS beam width.
+func BenchmarkAblationBeam(b *testing.B) { runExperiment(b, "ablation-beam") }
+
+// BenchmarkAblationMAD sweeps the drift threshold T_M.
+func BenchmarkAblationMAD(b *testing.B) { runExperiment(b, "ablation-mad") }
+
+// --- Micro-benchmarks of the pipeline stages -------------------------------
+
+// pipelineFixture builds a small trained system shared by the micro-benches.
+type pipelineFixture struct {
+	sys   *fexiot.System
+	train []*fexiot.Graph
+	probe *fexiot.Graph
+}
+
+var (
+	fixtureOnce sync.Once
+	fixture     pipelineFixture
+)
+
+func getFixture(b *testing.B) *pipelineFixture {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		sys := fexiot.New(fexiot.Options{Seed: 7})
+		var train []*fexiot.Graph
+		for home := 0; home < 20; home++ {
+			arch := fexiot.ArchetypeNames()[home%len(fexiot.ArchetypeNames())]
+			deployed := fexiot.GenerateHome(arch, 25, int64(home+1))
+			for i := 0; i < 6; i++ {
+				train = append(train, sys.BuildGraph(deployed))
+			}
+		}
+		sys.TrainCentral(train, 6, 200)
+		probe := train[0]
+		for _, g := range train {
+			if g.Label && g.N() >= 8 {
+				probe = g
+				break
+			}
+		}
+		fixture = pipelineFixture{sys: sys, train: train, probe: probe}
+	})
+	return &fixture
+}
+
+// BenchmarkGraphConstruction measures offline interaction-graph building.
+func BenchmarkGraphConstruction(b *testing.B) {
+	f := getFixture(b)
+	deployed := fexiot.GenerateHome("safety", 25, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.sys.BuildGraph(deployed)
+	}
+}
+
+// BenchmarkDetect measures one vulnerability prediction (GNN embed + head).
+func BenchmarkDetect(b *testing.B) {
+	f := getFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.sys.Detect(f.probe)
+	}
+}
+
+// BenchmarkExplain measures one SHAP-guided MCBS explanation.
+func BenchmarkExplain(b *testing.B) {
+	f := getFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.sys.Explain(f.probe)
+	}
+}
+
+// BenchmarkSimulateAndClean measures event-log simulation plus cleaning.
+func BenchmarkSimulateAndClean(b *testing.B) {
+	deployed := fexiot.GenerateHome("safety", 14, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fexiot.CleanLog(fexiot.SimulateHome(deployed, 1000, int64(i)))
+	}
+}
+
+// BenchmarkOnlineFusion measures log-to-online-graph fusion.
+func BenchmarkOnlineFusion(b *testing.B) {
+	f := getFixture(b)
+	deployed := fexiot.GenerateHome("safety", 14, 5)
+	log := fexiot.CleanLog(fexiot.SimulateHome(deployed, 2000, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.sys.BuildOnlineGraph(deployed, log)
+	}
+}

@@ -1,0 +1,55 @@
+// Command fexbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fexbench -exp fig4            # one experiment
+//	fexbench -exp all             # everything (slow)
+//	fexbench -list                # show experiment ids
+//	FEXIOT_SCALE=paper fexbench -exp table1   # paper-sized datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fexiot/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list), or 'all'")
+	list := flag.Bool("list", false, "list experiment ids")
+	seed := flag.Int64("seed", 1, "master random seed")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, n := range experiments.Names() {
+			fmt.Println("  ", n)
+		}
+		if *exp == "" {
+			os.Exit(0)
+		}
+		return
+	}
+
+	setup := experiments.DefaultSetup()
+	setup.Seed = *seed
+	fmt.Printf("scale=%s seed=%d\n\n", setup.Scale.Name, setup.Seed)
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.Names()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := experiments.Run(id, setup)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("[%s took %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+}

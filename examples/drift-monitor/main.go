@@ -1,0 +1,75 @@
+// Drift-monitor: the concept-drift workflow of §III-B3 — a detector trained
+// on the six known vulnerability types meets graphs carrying the three
+// *novel* patterns of §IV-C; the MAD filter flags them as drifting instead
+// of silently misclassifying them.
+package main
+
+import (
+	"fmt"
+
+	"fexiot"
+	"fexiot/internal/embed"
+	"fexiot/internal/fusion"
+	"fexiot/internal/graph"
+)
+
+func main() {
+	sys := fexiot.New(fexiot.Options{Seed: 13})
+	enc := embed.NewEncoder(48, 64)
+	pool := fusion.MultiHomePool(21, 60, 25, nil)
+	b := fusion.NewBuilder(23, enc)
+
+	fmt.Println("training on graphs with the six known vulnerability types…")
+	var training []*graph.Graph
+	for i := 0; i < 350; i++ {
+		training = append(training, b.OfflineSized(pool))
+	}
+	sys2 := sys // trained below via the same internal encoder dims
+	_ = sys2
+	sys.TrainCentral(training, 10, 300)
+
+	// In-distribution test graphs.
+	var normal []*graph.Graph
+	for i := 0; i < 40; i++ {
+		normal = append(normal, b.OfflineSized(pool))
+	}
+	// Graphs carrying the three novel drifting patterns.
+	kinds := []fusion.DriftKind{fusion.DriftTimedRevert,
+		fusion.DriftFakeCondition, fusion.DriftManualBlock}
+	names := []string{"timed revert", "fake condition", "manual block"}
+	var novel []*graph.Graph
+	for i := 0; i < 30; i++ {
+		novel = append(novel, b.OfflineWithDrift(pool, kinds[i%len(kinds)], 3))
+	}
+
+	stats := func(gs []*graph.Graph) (flagged int, meanScore float64) {
+		for _, g := range gs {
+			v := sys.Detect(g)
+			if v.Drifting {
+				flagged++
+			}
+			meanScore += v.DriftScore
+		}
+		return flagged, meanScore / float64(len(gs))
+	}
+	inDist, inScore := stats(normal)
+	outDist, outScore := stats(novel)
+	fmt.Printf("\nMAD drift filter (T_M = 3):\n")
+	fmt.Printf("  known-pattern graphs flagged:  %d / %d (mean deviation %.2f MADs)\n",
+		inDist, len(normal), inScore)
+	fmt.Printf("  novel-pattern graphs flagged:  %d / %d (mean deviation %.2f MADs)\n",
+		outDist, len(novel), outScore)
+	if outScore > inScore {
+		fmt.Println("  novel patterns sit further out of distribution ✓")
+	}
+
+	fmt.Println("\nthe three novel patterns (paper §IV-C):")
+	for i, k := range kinds {
+		g := b.OfflineWithDrift(pool, k, 3)
+		v := sys.Detect(g)
+		fmt.Printf("  %-14s → score=%.3f deviation=%.2f MADs drifting=%v\n",
+			names[i], v.Score, v.DriftScore, v.Drifting)
+	}
+	fmt.Println("\ndrifting samples are routed to manual inspection rather than" +
+		" trusted to the classifier — reducing false alarms on unseen patterns.")
+}

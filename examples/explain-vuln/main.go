@@ -1,0 +1,98 @@
+// Explain-vuln: reproduce the paper's introductory scenario — the
+// SmartThings smoke/water-valve conflict — and let the SHAP-guided Monte
+// Carlo beam search pinpoint exactly the rules that compose the vulnerable
+// interaction (the Fig. 8 style qualitative walk-through).
+package main
+
+import (
+	"fmt"
+
+	"fexiot"
+	"fexiot/internal/rules"
+)
+
+// scenario hand-builds the intro example: R1 "if smoke is detected, turn on
+// the water valve and sound the alarm" plus R2 "close the water valve when
+// a water leak is detected", surrounded by unrelated background rules.
+func scenario() []*fexiot.Rule {
+	mk := func(id string, p rules.Platform, trig rules.Condition, acts ...rules.Effect) *fexiot.Rule {
+		r := &rules.Rule{ID: id, Platform: p, Trigger: trig, Actions: acts}
+		r.Description = rules.Describe(p, trig, acts)
+		return r
+	}
+	eff := func(dev, room, state string) rules.Effect {
+		d := rules.CatalogByName()[dev]
+		for _, c := range d.Commands {
+			if c.State == state {
+				return rules.Effect{Device: dev, Room: room, Verb: c.Verb,
+					Channel: c.Channel, State: c.State, Env: c.Env,
+					Sensitive: c.Sensitive}
+			}
+		}
+		panic("no command " + dev + "/" + state)
+	}
+	kitchen := "kitchen"
+	r1 := mk("R1", rules.SmartThings,
+		rules.Condition{Device: "smoke detector", Room: kitchen,
+			Channel: rules.ChanSmoke, State: "detected"},
+		eff("water valve", kitchen, "on"),
+		eff("alarm", kitchen, "on"))
+	r2 := mk("R2", rules.SmartThings,
+		rules.Condition{Device: "leak sensor", Room: kitchen,
+			Channel: rules.ChanLeak, State: "wet"},
+		eff("water valve", kitchen, "off"))
+	// Background rules that are benign.
+	r3 := mk("R3", rules.IFTTT,
+		rules.Condition{Device: "motion sensor", Room: "hallway",
+			Channel: rules.ChanMotion, State: "detected"},
+		eff("light", "hallway", "on"))
+	r4 := mk("R4", rules.HomeAssistant,
+		rules.Condition{Device: "light", Room: "hallway",
+			Channel: rules.ChanPower, State: "on"},
+		eff("camera", "hallway", "on"))
+	r5 := mk("R5", rules.IFTTT,
+		rules.Condition{Device: "presence sensor", Room: "",
+			Channel: rules.ChanPresence, State: "away"},
+		eff("phone", "hallway", "notified"))
+	return []*fexiot.Rule{r1, r2, r3, r4, r5}
+}
+
+func main() {
+	sys := fexiot.New(fexiot.Options{Seed: 5, Model: "GCN"})
+
+	fmt.Println("training detector…")
+	var training []*fexiot.Graph
+	for home := 0; home < 40; home++ {
+		arch := fexiot.ArchetypeNames()[home%len(fexiot.ArchetypeNames())]
+		deployed := fexiot.GenerateHome(arch, 25, int64(home+61))
+		for i := 0; i < 8; i++ {
+			training = append(training, sys.BuildGraph(deployed))
+		}
+	}
+	sys.TrainCentral(training, 10, 300)
+
+	deployed := scenario()
+	fmt.Println("\nthe deployed rules (paper §I example):")
+	for _, r := range deployed {
+		fmt.Printf("  %s: %s\n", r.ID, r.Description)
+	}
+
+	g := sys.BuildGraph(deployed)
+	fmt.Printf("\ninteraction graph: %d nodes, %d edges; ground truth tags: %v\n",
+		g.N(), len(g.Edges), g.Tags)
+
+	v := sys.Detect(g)
+	fmt.Printf("detector verdict: vulnerable=%v score=%.3f\n", v.Vulnerable, v.Score)
+
+	ex := sys.Explain(g)
+	fmt.Printf("\nexplanation (risk %.3f, fidelity %.2f, sparsity %.2f):\n",
+		ex.Score, ex.Fidelity, ex.Sparsity)
+	for _, r := range ex.Rules {
+		if r != nil {
+			fmt.Printf("  → %s: %s\n", r.ID, r.Description)
+		}
+	}
+	fmt.Println("\nexpected: the explanation isolates R1/R2 — the water valve is" +
+		" turned on by the smoke response and immediately closed by the leak" +
+		" rule, so \"the water valve fails to turn on when smoke is detected\".")
+}

@@ -1,0 +1,61 @@
+// Federated campus: eight households with heterogeneous automation habits
+// collaboratively train a vulnerability detector without sharing raw data,
+// comparing the paper's layer-wise clustered aggregation against FedAvg and
+// isolated training — a miniature of the Fig. 4 evaluation through the
+// public API.
+package main
+
+import (
+	"fmt"
+
+	"fexiot"
+)
+
+func main() {
+	const homesPerArch = 2
+	archs := []string{"security", "security", "climate", "climate",
+		"energy", "entertainment", "safety", "safety"}
+	_ = homesPerArch
+
+	// Each client is one household with its own graphs.
+	fmt.Println("building 8 household datasets…")
+	clientData := make([][]*fexiot.Graph, len(archs))
+	builderSys := fexiot.New(fexiot.Options{Seed: 3})
+	for i, arch := range archs {
+		deployed := fexiot.GenerateHome(arch, 28, int64(i*13+7))
+		for g := 0; g < 30; g++ {
+			clientData[i] = append(clientData[i], builderSys.BuildGraph(deployed))
+		}
+		vuln := 0
+		for _, g := range clientData[i] {
+			if g.Label {
+				vuln++
+			}
+		}
+		fmt.Printf("  client %d (%-13s): %d graphs, %d vulnerable\n",
+			i, arch, len(clientData[i]), vuln)
+	}
+
+	// Held-out evaluation graphs from fresh homes.
+	var test []*fexiot.Graph
+	for i, arch := range archs {
+		deployed := fexiot.GenerateHome(arch, 28, int64(i*17+211))
+		for g := 0; g < 6; g++ {
+			test = append(test, builderSys.BuildGraph(deployed))
+		}
+	}
+
+	for _, algo := range []fexiot.FederatedAlgorithm{
+		fexiot.AlgoFexIoT, fexiot.AlgoFedAvg, fexiot.AlgoClient,
+	} {
+		sys := fexiot.New(fexiot.Options{Seed: 3})
+		res, err := sys.TrainFederated(clientData, algo, 12)
+		if err != nil {
+			panic(err)
+		}
+		m := sys.Evaluate(test)
+		fmt.Printf("\n%-7s: acc=%.3f f1=%.3f transferred=%.1fMB clusters=%v\n",
+			algo, m.Accuracy, m.F1, float64(res.TransferredBytes)/1e6, res.Clusters)
+	}
+	fmt.Println("\nexpected shape: FexIoT ≥ FedAvg > Client, with FexIoT moving fewer bytes")
+}

@@ -1,0 +1,132 @@
+package fexiot_test
+
+import (
+	"testing"
+
+	"fexiot"
+)
+
+// trainedSystem builds a small trained system for API tests.
+func trainedSystem(t *testing.T) (*fexiot.System, []*fexiot.Graph) {
+	t.Helper()
+	sys := fexiot.New(fexiot.Options{Seed: 7, WordDim: 24, SentenceDim: 32,
+		Hidden: 12, EmbedDim: 8})
+	var train []*fexiot.Graph
+	for home := 0; home < 15; home++ {
+		arch := fexiot.ArchetypeNames()[home%len(fexiot.ArchetypeNames())]
+		deployed := fexiot.GenerateHome(arch, 22, int64(home+1))
+		for i := 0; i < 5; i++ {
+			train = append(train, sys.BuildGraph(deployed))
+		}
+	}
+	sys.TrainCentral(train, 3, 80)
+	return sys, train
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sys, train := trainedSystem(t)
+
+	// Detection on a fresh home.
+	home := fexiot.GenerateHome("safety", 16, 99)
+	g := sys.BuildGraph(home)
+	if g.N() < 2 {
+		t.Fatalf("graph too small: %d", g.N())
+	}
+	v := sys.Detect(g)
+	if v.Score < 0 || v.Score > 1 {
+		t.Fatalf("score %v out of range", v.Score)
+	}
+	if v.Vulnerable != (v.Score >= 0.5) {
+		t.Fatal("verdict inconsistent with score")
+	}
+
+	// Explanation on a vulnerable training graph.
+	for _, tg := range train {
+		if tg.Label && tg.N() >= 6 {
+			ex := sys.Explain(tg)
+			if len(ex.NodeIndices) == 0 {
+				t.Fatal("empty explanation")
+			}
+			if ex.Sparsity < 0 || ex.Sparsity > 1 {
+				t.Fatalf("sparsity %v", ex.Sparsity)
+			}
+			if len(ex.Rules) != len(ex.NodeIndices) {
+				t.Fatal("rules/indices mismatch")
+			}
+			break
+		}
+	}
+
+	// Metrics over the training set beat chance comfortably.
+	m := sys.Evaluate(train)
+	if m.Accuracy < 0.6 {
+		t.Fatalf("train accuracy %v suspiciously low", m.Accuracy)
+	}
+}
+
+func TestPublicAPIOnlinePipeline(t *testing.T) {
+	sys, _ := trainedSystem(t)
+	deployed := fexiot.GenerateHome("safety", 12, 5)
+	raw := fexiot.SimulateHome(deployed, 1500, 3)
+	if len(raw) == 0 {
+		t.Fatal("simulator produced nothing")
+	}
+	clean := fexiot.CleanLog(raw)
+	if len(clean) == 0 || len(clean) >= len(raw) {
+		t.Fatalf("cleaning: %d → %d", len(raw), len(clean))
+	}
+	g := sys.BuildOnlineGraph(deployed, clean)
+	if !g.Online {
+		t.Fatal("online graph not flagged")
+	}
+	_ = sys.Detect(g)
+}
+
+func TestPublicAPIFederated(t *testing.T) {
+	sys := fexiot.New(fexiot.Options{Seed: 3, WordDim: 24, SentenceDim: 32,
+		Hidden: 12, EmbedDim: 8})
+	builder := fexiot.New(fexiot.Options{Seed: 3, WordDim: 24, SentenceDim: 32})
+	clientData := make([][]*fexiot.Graph, 4)
+	for i := range clientData {
+		arch := fexiot.ArchetypeNames()[i%len(fexiot.ArchetypeNames())]
+		deployed := fexiot.GenerateHome(arch, 22, int64(i*7+1))
+		for g := 0; g < 12; g++ {
+			clientData[i] = append(clientData[i], builder.BuildGraph(deployed))
+		}
+	}
+	res, err := sys.TrainFederated(clientData, fexiot.AlgoFexIoT, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TransferredBytes <= 0 {
+		t.Fatal("no communication accounted")
+	}
+	if len(res.Clusters) != 4 {
+		t.Fatalf("cluster assignment %v", res.Clusters)
+	}
+	// Unknown algorithm rejected.
+	if _, err := sys.TrainFederated(clientData, "bogus", 1); err == nil {
+		t.Fatal("bogus algorithm must error")
+	}
+}
+
+func TestUntrainedSystemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sys := fexiot.New(fexiot.Options{})
+	sys.Detect(&fexiot.Graph{})
+}
+
+func TestArchetypeNames(t *testing.T) {
+	names := fexiot.ArchetypeNames()
+	if len(names) != 5 {
+		t.Fatalf("archetype count %d", len(names))
+	}
+	// GenerateHome falls back gracefully for unknown archetypes.
+	if rs := fexiot.GenerateHome("nonexistent", 5, 1); len(rs) != 5 {
+		t.Fatal("fallback generation failed")
+	}
+}

@@ -1,0 +1,3 @@
+module fexiot
+
+go 1.22

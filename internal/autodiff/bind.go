@@ -1,0 +1,82 @@
+package autodiff
+
+import (
+	"math"
+
+	"fexiot/internal/mat"
+)
+
+// Binder binds a ParamSet onto a tape for one forward pass, memoising the
+// parameter nodes so each matrix appears once per pass (gradients then
+// accumulate correctly when a parameter is used multiple times).
+type Binder struct {
+	tape   *Tape
+	params *ParamSet
+	nodes  map[string]*Node
+}
+
+// Bind creates a Binder for params on tape.
+func Bind(t *Tape, params *ParamSet) *Binder {
+	return &Binder{tape: t, params: params, nodes: map[string]*Node{}}
+}
+
+// Node returns the tape node for the named parameter, creating it on first
+// use in this pass.
+func (b *Binder) Node(name string) *Node {
+	if n, ok := b.nodes[name]; ok {
+		return n
+	}
+	n := b.tape.Param(b.params.Get(name))
+	b.nodes[name] = n
+	return n
+}
+
+// Grads collects the gradients accumulated on the bound parameter nodes.
+func (b *Binder) Grads() map[string]*mat.Dense {
+	out := make(map[string]*mat.Dense, len(b.nodes))
+	for name, n := range b.nodes {
+		if n.Grad != nil {
+			out[name] = n.Grad
+		}
+	}
+	return out
+}
+
+// AccumulateGrads merges this pass's gradients into acc (allocating entries
+// as needed), used when a batch is composed of several per-graph passes.
+func (b *Binder) AccumulateGrads(acc map[string]*mat.Dense) {
+	for name, n := range b.nodes {
+		if n.Grad == nil {
+			continue
+		}
+		if g, ok := acc[name]; ok {
+			g.AddScaled(n.Grad, 1)
+		} else {
+			acc[name] = n.Grad.Clone()
+		}
+	}
+}
+
+// ScaleGrads multiplies every gradient in grads by s.
+func ScaleGrads(grads map[string]*mat.Dense, s float64) {
+	for _, g := range grads {
+		g.Scale(s)
+	}
+}
+
+// ClipGrads rescales gradients so the global norm does not exceed maxNorm.
+func ClipGrads(grads map[string]*mat.Dense, maxNorm float64) {
+	var total float64
+	for _, g := range grads {
+		for _, x := range g.Data() {
+			total += x * x
+		}
+	}
+	if total <= 0 {
+		return
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm {
+		ScaleGrads(grads, maxNorm/norm)
+	}
+}

@@ -1,0 +1,192 @@
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"fexiot/internal/mat"
+)
+
+// SumAll reduces a node to its 1×1 element sum.
+func (t *Tape) SumAll(a *Node) *Node {
+	val := mat.NewDense(1, 1)
+	val.Set(0, 0, a.Value.Sum())
+	var out *Node
+	out = t.node(val, a.needs, []*Node{a}, func() {
+		if !a.needs {
+			return
+		}
+		ensureGrad(a)
+		g := out.Grad.At(0, 0)
+		d := a.Grad.Data()
+		for i := range d {
+			d[i] += g
+		}
+	})
+	return out
+}
+
+// AddConst returns a + c element-wise for a constant scalar c.
+func (t *Tape) AddConst(a *Node, c float64) *Node {
+	val := a.Value.Clone().Apply(func(x float64) float64 { return x + c })
+	var out *Node
+	out = t.node(val, a.needs, []*Node{a}, func() {
+		if !a.needs {
+			return
+		}
+		ensureGrad(a)
+		a.Grad.AddScaled(out.Grad, 1)
+	})
+	return out
+}
+
+// SoftmaxCrossEntropy computes the mean weighted cross-entropy between
+// logits (n×C) and integer labels, with per-class weights (nil for uniform).
+// This is the "weighted cross-entropy loss ... according to the inverse
+// ratio to class frequencies" used by the paper for class imbalance.
+func (t *Tape) SoftmaxCrossEntropy(logits *Node, labels []int, classWeights []float64) *Node {
+	n, c := logits.Value.Dims()
+	if len(labels) != n {
+		panic(fmt.Sprintf("autodiff: %d labels for %d logits rows", len(labels), n))
+	}
+	probs := mat.NewDense(n, c)
+	var loss float64
+	var wsum float64
+	for i := 0; i < n; i++ {
+		p := mat.Softmax(logits.Value.Row(i))
+		copy(probs.Row(i), p)
+		w := 1.0
+		if classWeights != nil {
+			w = classWeights[labels[i]]
+		}
+		wsum += w
+		loss -= w * math.Log(math.Max(p[labels[i]], 1e-12))
+	}
+	if wsum == 0 {
+		wsum = 1
+	}
+	loss /= wsum
+	val := mat.NewDense(1, 1)
+	val.Set(0, 0, loss)
+	var out *Node
+	out = t.node(val, logits.needs, []*Node{logits}, func() {
+		if !logits.needs {
+			return
+		}
+		ensureGrad(logits)
+		g := out.Grad.At(0, 0)
+		for i := 0; i < n; i++ {
+			w := 1.0
+			if classWeights != nil {
+				w = classWeights[labels[i]]
+			}
+			gi := logits.Grad.Row(i)
+			pi := probs.Row(i)
+			for j := 0; j < c; j++ {
+				d := pi[j]
+				if j == labels[i] {
+					d -= 1
+				}
+				gi[j] += g * w * d / wsum
+			}
+		}
+	})
+	return out
+}
+
+// MSE computes mean squared error between pred and a constant target of the
+// same shape.
+func (t *Tape) MSE(pred *Node, target *mat.Dense) *Node {
+	r, c := pred.Value.Dims()
+	tr, tc := target.Dims()
+	if r != tr || c != tc {
+		panic(fmt.Sprintf("autodiff: MSE %dx%d vs target %dx%d", r, c, tr, tc))
+	}
+	n := float64(r * c)
+	var loss float64
+	pd, td := pred.Value.Data(), target.Data()
+	for i := range pd {
+		d := pd[i] - td[i]
+		loss += d * d
+	}
+	loss /= n
+	val := mat.NewDense(1, 1)
+	val.Set(0, 0, loss)
+	var out *Node
+	out = t.node(val, pred.needs, []*Node{pred}, func() {
+		if !pred.needs {
+			return
+		}
+		ensureGrad(pred)
+		g := out.Grad.At(0, 0)
+		gd := pred.Grad.Data()
+		for i := range pd {
+			gd[i] += g * 2 * (pd[i] - td[i]) / n
+		}
+	})
+	return out
+}
+
+// ContrastiveLoss implements Eq. (2) of the paper for a pair of graph
+// embeddings za, zb (each 1×d):
+//
+//	L = d²·(1−y) + max(0, k − d²)·y
+//
+// where d is the Euclidean distance, y=1 when the two graphs come from
+// different classes and y=0 when they share a class, and k is the margin.
+func (t *Tape) ContrastiveLoss(za, zb *Node, differentClass bool, margin float64) *Node {
+	diff := t.Sub(za, zb)
+	sq := t.Hadamard(diff, diff)
+	d2 := t.SumAll(sq)
+	if !differentClass {
+		return d2
+	}
+	neg := t.Scale(d2, -1)
+	shifted := t.AddConst(neg, margin)
+	return t.ReLU(shifted)
+}
+
+// BCEWithLogits computes mean binary cross-entropy between logits (n×1) and
+// targets in {0,1}, with optional per-sample weights.
+func (t *Tape) BCEWithLogits(logits *Node, targets []float64, sampleWeights []float64) *Node {
+	n, c := logits.Value.Dims()
+	if c != 1 || len(targets) != n {
+		panic(fmt.Sprintf("autodiff: BCE logits %dx%d with %d targets", n, c, len(targets)))
+	}
+	var loss, wsum float64
+	sig := make([]float64, n)
+	for i := 0; i < n; i++ {
+		z := logits.Value.At(i, 0)
+		s := mat.Sigmoid(z)
+		sig[i] = s
+		w := 1.0
+		if sampleWeights != nil {
+			w = sampleWeights[i]
+		}
+		wsum += w
+		// Numerically stable BCE.
+		loss += w * (math.Max(z, 0) - z*targets[i] + math.Log(1+math.Exp(-math.Abs(z))))
+	}
+	if wsum == 0 {
+		wsum = 1
+	}
+	loss /= wsum
+	val := mat.NewDense(1, 1)
+	val.Set(0, 0, loss)
+	var out *Node
+	out = t.node(val, logits.needs, []*Node{logits}, func() {
+		if !logits.needs {
+			return
+		}
+		ensureGrad(logits)
+		g := out.Grad.At(0, 0)
+		for i := 0; i < n; i++ {
+			w := 1.0
+			if sampleWeights != nil {
+				w = sampleWeights[i]
+			}
+			logits.Grad.Add(i, 0, g*w*(sig[i]-targets[i])/wsum)
+		}
+	})
+	return out
+}

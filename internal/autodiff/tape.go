@@ -1,0 +1,479 @@
+// Package autodiff implements a reverse-mode automatic differentiation tape
+// over dense matrices. It is the training runtime for every neural model in
+// the repository — the MLP correlation classifier, the DeepLog LSTM baseline
+// and the GCN/GIN/MAGNN graph networks — standing in for the PyTorch/DGL
+// stack the paper uses.
+//
+// The tape is rebuilt for every forward pass (define-by-run). Backward walks
+// the nodes in reverse insertion order, which is a valid topological order
+// because operations can only consume previously created nodes.
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"fexiot/internal/mat"
+)
+
+// Node is a matrix-valued value on the tape together with its gradient.
+type Node struct {
+	Value *mat.Dense
+	Grad  *mat.Dense
+
+	tape    *Tape
+	back    func()
+	parents []*Node
+	needs   bool
+}
+
+// Dims returns the node's value dimensions.
+func (n *Node) Dims() (int, int) { return n.Value.Dims() }
+
+// Tape records operations for reverse-mode differentiation.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape creates an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset clears all recorded nodes so the tape can be reused.
+func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+// Len reports the number of recorded nodes.
+func (t *Tape) Len() int { return len(t.nodes) }
+
+// node registers a new tape node.
+func (t *Tape) node(val *mat.Dense, needs bool, parents []*Node, back func()) *Node {
+	n := &Node{Value: val, tape: t, back: back, parents: parents, needs: needs}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// anyNeeds reports whether any parent participates in gradient computation.
+func anyNeeds(parents ...*Node) bool {
+	for _, p := range parents {
+		if p != nil && p.needs {
+			return true
+		}
+	}
+	return false
+}
+
+// Param registers a trainable parameter. Its gradient is allocated lazily on
+// the first backward pass that touches it.
+func (t *Tape) Param(v *mat.Dense) *Node {
+	return t.node(v, true, nil, nil)
+}
+
+// Constant registers a value that requires no gradient.
+func (t *Tape) Constant(v *mat.Dense) *Node {
+	return t.node(v, false, nil, nil)
+}
+
+// ensureGrad allocates n.Grad if missing.
+func ensureGrad(n *Node) {
+	if n.Grad == nil {
+		r, c := n.Value.Dims()
+		n.Grad = mat.NewDense(r, c)
+	}
+}
+
+// Backward seeds d(loss)/d(loss)=1 and propagates gradients to all
+// contributing nodes. loss must be 1×1.
+func (t *Tape) Backward(loss *Node) {
+	r, c := loss.Value.Dims()
+	if r != 1 || c != 1 {
+		panic(fmt.Sprintf("autodiff: Backward on %dx%d node; want scalar", r, c))
+	}
+	ensureGrad(loss)
+	loss.Grad.Set(0, 0, 1)
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.back != nil && n.needs && n.Grad != nil {
+			n.back()
+		}
+	}
+}
+
+// --- Core operations -------------------------------------------------------
+
+// MatMul returns a·b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	val := mat.Mul(a.Value, b.Value)
+	needs := anyNeeds(a, b)
+	var out *Node
+	out = t.node(val, needs, []*Node{a, b}, func() {
+		if a.needs {
+			ensureGrad(a)
+			// dA += dOut · Bᵀ
+			tmp := mat.NewDense(a.Value.Rows(), a.Value.Cols())
+			mat.MulBTTo(tmp, out.Grad, b.Value)
+			a.Grad.AddScaled(tmp, 1)
+		}
+		if b.needs {
+			ensureGrad(b)
+			// dB += Aᵀ · dOut
+			tmp := mat.NewDense(b.Value.Rows(), b.Value.Cols())
+			mat.MulTTo(tmp, a.Value, out.Grad)
+			b.Grad.AddScaled(tmp, 1)
+		}
+	})
+	return out
+}
+
+// SpMM returns s·b for a constant sparse operator s (e.g. normalised graph
+// adjacency). No gradient flows into s.
+func (t *Tape) SpMM(s *mat.CSR, b *Node) *Node {
+	val := mat.SpMM(s, b.Value)
+	needs := b.needs
+	var st *mat.CSR
+	var out *Node
+	out = t.node(val, needs, []*Node{b}, func() {
+		if !b.needs {
+			return
+		}
+		ensureGrad(b)
+		if st == nil {
+			st = s.T()
+		}
+		tmp := mat.SpMM(st, out.Grad)
+		b.Grad.AddScaled(tmp, 1)
+	})
+	return out
+}
+
+// Add returns a+b (same shape).
+func (t *Tape) Add(a, b *Node) *Node {
+	val := mat.AddM(a.Value, b.Value)
+	var out *Node
+	out = t.node(val, anyNeeds(a, b), []*Node{a, b}, func() {
+		if a.needs {
+			ensureGrad(a)
+			a.Grad.AddScaled(out.Grad, 1)
+		}
+		if b.needs {
+			ensureGrad(b)
+			b.Grad.AddScaled(out.Grad, 1)
+		}
+	})
+	return out
+}
+
+// Sub returns a−b.
+func (t *Tape) Sub(a, b *Node) *Node {
+	val := mat.SubM(a.Value, b.Value)
+	var out *Node
+	out = t.node(val, anyNeeds(a, b), []*Node{a, b}, func() {
+		if a.needs {
+			ensureGrad(a)
+			a.Grad.AddScaled(out.Grad, 1)
+		}
+		if b.needs {
+			ensureGrad(b)
+			b.Grad.AddScaled(out.Grad, -1)
+		}
+	})
+	return out
+}
+
+// AddRowBroadcast adds a 1×c bias row to every row of a (n×c).
+func (t *Tape) AddRowBroadcast(a, bias *Node) *Node {
+	n, c := a.Value.Dims()
+	br, bc := bias.Value.Dims()
+	if br != 1 || bc != c {
+		panic(fmt.Sprintf("autodiff: AddRowBroadcast bias %dx%d for %dx%d", br, bc, n, c))
+	}
+	val := a.Value.Clone()
+	for i := 0; i < n; i++ {
+		mat.Axpy(val.Row(i), bias.Value.Row(0), 1)
+	}
+	var out *Node
+	out = t.node(val, anyNeeds(a, bias), []*Node{a, bias}, func() {
+		if a.needs {
+			ensureGrad(a)
+			a.Grad.AddScaled(out.Grad, 1)
+		}
+		if bias.needs {
+			ensureGrad(bias)
+			g := bias.Grad.Row(0)
+			for i := 0; i < n; i++ {
+				mat.Axpy(g, out.Grad.Row(i), 1)
+			}
+		}
+	})
+	return out
+}
+
+// Hadamard returns the element-wise product a⊙b.
+func (t *Tape) Hadamard(a, b *Node) *Node {
+	val := mat.Hadamard(a.Value, b.Value)
+	var out *Node
+	out = t.node(val, anyNeeds(a, b), []*Node{a, b}, func() {
+		if a.needs {
+			ensureGrad(a)
+			a.Grad.AddScaled(mat.Hadamard(out.Grad, b.Value), 1)
+		}
+		if b.needs {
+			ensureGrad(b)
+			b.Grad.AddScaled(mat.Hadamard(out.Grad, a.Value), 1)
+		}
+	})
+	return out
+}
+
+// Scale returns s*a for a constant scalar s.
+func (t *Tape) Scale(a *Node, s float64) *Node {
+	val := a.Value.Clone().Scale(s)
+	var out *Node
+	out = t.node(val, a.needs, []*Node{a}, func() {
+		if a.needs {
+			ensureGrad(a)
+			a.Grad.AddScaled(out.Grad, s)
+		}
+	})
+	return out
+}
+
+// unary applies f element-wise with derivative df(input value, output value).
+func (t *Tape) unary(a *Node, f func(float64) float64, df func(x, y float64) float64) *Node {
+	val := a.Value.Clone().Apply(f)
+	var out *Node
+	out = t.node(val, a.needs, []*Node{a}, func() {
+		if !a.needs {
+			return
+		}
+		ensureGrad(a)
+		ad, vd, gd, od := a.Grad.Data(), a.Value.Data(), out.Grad.Data(), out.Value.Data()
+		for i := range ad {
+			ad[i] += gd[i] * df(vd[i], od[i])
+		}
+	})
+	return out
+}
+
+// ReLU applies max(0,x) element-wise.
+func (t *Tape) ReLU(a *Node) *Node {
+	return t.unary(a,
+		func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return 0
+		},
+		func(x, _ float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		})
+}
+
+// LeakyReLU applies x>0 ? x : slope*x element-wise.
+func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
+	return t.unary(a,
+		func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return slope * x
+		},
+		func(x, _ float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return slope
+		})
+}
+
+// Sigmoid applies the logistic function element-wise.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	return t.unary(a,
+		mat.Sigmoid,
+		func(_, y float64) float64 { return y * (1 - y) })
+}
+
+// Tanh applies tanh element-wise.
+func (t *Tape) Tanh(a *Node) *Node {
+	return t.unary(a,
+		math.Tanh,
+		func(_, y float64) float64 { return 1 - y*y })
+}
+
+// MeanRows returns the 1×c column-mean of an n×c node (graph mean readout).
+func (t *Tape) MeanRows(a *Node) *Node {
+	n, c := a.Value.Dims()
+	val := mat.NewDense(1, c)
+	for i := 0; i < n; i++ {
+		mat.Axpy(val.Row(0), a.Value.Row(i), 1/float64(n))
+	}
+	var out *Node
+	out = t.node(val, a.needs, []*Node{a}, func() {
+		if !a.needs {
+			return
+		}
+		ensureGrad(a)
+		g := out.Grad.Row(0)
+		inv := 1 / float64(n)
+		for i := 0; i < n; i++ {
+			mat.Axpy(a.Grad.Row(i), g, inv)
+		}
+	})
+	return out
+}
+
+// SumRows returns the 1×c column-sum of an n×c node (graph sum readout, as
+// used by GIN).
+func (t *Tape) SumRows(a *Node) *Node {
+	n, c := a.Value.Dims()
+	val := mat.NewDense(1, c)
+	for i := 0; i < n; i++ {
+		mat.Axpy(val.Row(0), a.Value.Row(i), 1)
+	}
+	var out *Node
+	out = t.node(val, a.needs, []*Node{a}, func() {
+		if !a.needs {
+			return
+		}
+		ensureGrad(a)
+		g := out.Grad.Row(0)
+		for i := 0; i < n; i++ {
+			mat.Axpy(a.Grad.Row(i), g, 1)
+		}
+	})
+	return out
+}
+
+// MaxRows returns the 1×c column-wise maximum of an n×c node; the gradient
+// routes to the arg-max row per column. Max readout preserves "a node with
+// this pattern exists" signals that mean pooling dilutes on large graphs.
+func (t *Tape) MaxRows(a *Node) *Node {
+	n, c := a.Value.Dims()
+	val := mat.NewDense(1, c)
+	arg := make([]int, c)
+	for j := 0; j < c; j++ {
+		best := a.Value.At(0, j)
+		bi := 0
+		for i := 1; i < n; i++ {
+			if v := a.Value.At(i, j); v > best {
+				best, bi = v, i
+			}
+		}
+		val.Set(0, j, best)
+		arg[j] = bi
+	}
+	var out *Node
+	out = t.node(val, a.needs, []*Node{a}, func() {
+		if !a.needs {
+			return
+		}
+		ensureGrad(a)
+		for j := 0; j < c; j++ {
+			a.Grad.Add(arg[j], j, out.Grad.At(0, j))
+		}
+	})
+	return out
+}
+
+// ConcatCols concatenates nodes horizontally (same row count).
+func (t *Tape) ConcatCols(parts ...*Node) *Node {
+	rows, _ := parts[0].Value.Dims()
+	total := 0
+	for _, p := range parts {
+		r, c := p.Value.Dims()
+		if r != rows {
+			panic("autodiff: ConcatCols row mismatch")
+		}
+		total += c
+	}
+	val := mat.NewDense(rows, total)
+	off := 0
+	for _, p := range parts {
+		_, c := p.Value.Dims()
+		for i := 0; i < rows; i++ {
+			copy(val.Row(i)[off:off+c], p.Value.Row(i))
+		}
+		off += c
+	}
+	var out *Node
+	out = t.node(val, anyNeeds(parts...), parts, func() {
+		off := 0
+		for _, p := range parts {
+			_, c := p.Value.Dims()
+			if p.needs {
+				ensureGrad(p)
+				for i := 0; i < rows; i++ {
+					mat.Axpy(p.Grad.Row(i), out.Grad.Row(i)[off:off+c], 1)
+				}
+			}
+			off += c
+		}
+	})
+	return out
+}
+
+// GatherRows selects rows idx from a into a new len(idx)×c node.
+func (t *Tape) GatherRows(a *Node, idx []int) *Node {
+	_, c := a.Value.Dims()
+	val := mat.NewDense(len(idx), c)
+	for i, r := range idx {
+		copy(val.Row(i), a.Value.Row(r))
+	}
+	var out *Node
+	out = t.node(val, a.needs, []*Node{a}, func() {
+		if !a.needs {
+			return
+		}
+		ensureGrad(a)
+		for i, r := range idx {
+			mat.Axpy(a.Grad.Row(r), out.Grad.Row(i), 1)
+		}
+	})
+	return out
+}
+
+// ScatterRows builds an n×c node whose rows at idx come from a (len(idx)×c)
+// and whose other rows are zero — the inverse of GatherRows, used to merge
+// per-type projections in heterogeneous GNNs.
+func (t *Tape) ScatterRows(a *Node, idx []int, n int) *Node {
+	ar, c := a.Value.Dims()
+	if ar != len(idx) {
+		panic(fmt.Sprintf("autodiff: ScatterRows %d rows with %d indices", ar, len(idx)))
+	}
+	val := mat.NewDense(n, c)
+	for i, r := range idx {
+		copy(val.Row(r), a.Value.Row(i))
+	}
+	var out *Node
+	out = t.node(val, a.needs, []*Node{a}, func() {
+		if !a.needs {
+			return
+		}
+		ensureGrad(a)
+		for i, r := range idx {
+			mat.Axpy(a.Grad.Row(i), out.Grad.Row(r), 1)
+		}
+	})
+	return out
+}
+
+// Dropout zeroes elements with probability p during training, scaling the
+// survivors by 1/(1-p). mask is sampled by the caller for determinism.
+func (t *Tape) Dropout(a *Node, mask *mat.Dense, p float64) *Node {
+	if p <= 0 {
+		return a
+	}
+	scale := 1 / (1 - p)
+	val := mat.Hadamard(a.Value, mask).Scale(scale)
+	var out *Node
+	out = t.node(val, a.needs, []*Node{a}, func() {
+		if !a.needs {
+			return
+		}
+		ensureGrad(a)
+		g := mat.Hadamard(out.Grad, mask).Scale(scale)
+		a.Grad.AddScaled(g, 1)
+	})
+	return out
+}

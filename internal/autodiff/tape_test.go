@@ -1,0 +1,343 @@
+package autodiff
+
+import (
+	"math"
+	"testing"
+
+	"fexiot/internal/mat"
+	"fexiot/internal/rng"
+)
+
+// numericGrad computes the central finite-difference gradient of loss(w)
+// with respect to every element of w.
+func numericGrad(w *mat.Dense, loss func() float64) *mat.Dense {
+	const h = 1e-5
+	r, c := w.Dims()
+	g := mat.NewDense(r, c)
+	d := w.Data()
+	for i := range d {
+		orig := d[i]
+		d[i] = orig + h
+		up := loss()
+		d[i] = orig - h
+		down := loss()
+		d[i] = orig
+		g.Data()[i] = (up - down) / (2 * h)
+	}
+	return g
+}
+
+// checkGrad runs forward() once for the analytic gradient and compares it
+// against finite differences for parameter w.
+func checkGrad(t *testing.T, name string, w *mat.Dense, forward func() (*Tape, *Node, *Node)) {
+	t.Helper()
+	tape, wNode, loss := forward()
+	tape.Backward(loss)
+	analytic := wNode.Grad
+	numeric := numericGrad(w, func() float64 {
+		_, _, l := forward()
+		return l.Value.At(0, 0)
+	})
+	if analytic == nil {
+		t.Fatalf("%s: no gradient computed", name)
+	}
+	if !analytic.Equalish(numeric, 1e-4) {
+		t.Fatalf("%s: analytic %v vs numeric %v", name, analytic, numeric)
+	}
+}
+
+func TestMatMulGrad(t *testing.T) {
+	g := rng.New(1)
+	w := g.Gaussian(3, 2, 1)
+	x := g.Gaussian(4, 3, 1)
+	checkGrad(t, "matmul", w, func() (*Tape, *Node, *Node) {
+		tape := NewTape()
+		wn := tape.Param(w)
+		xn := tape.Constant(x)
+		y := tape.MatMul(xn, wn)
+		sq := tape.Hadamard(y, y)
+		return tape, wn, tape.SumAll(sq)
+	})
+}
+
+func TestSpMMGrad(t *testing.T) {
+	g := rng.New(2)
+	w := g.Gaussian(3, 2, 1)
+	adj := mat.NewCSR(3, 3,
+		[]int{0, 0, 1, 2, 2}, []int{0, 1, 2, 0, 2},
+		[]float64{0.5, 0.5, 1, 0.3, 0.7})
+	checkGrad(t, "spmm", w, func() (*Tape, *Node, *Node) {
+		tape := NewTape()
+		wn := tape.Param(w)
+		y := tape.SpMM(adj, wn)
+		sq := tape.Hadamard(y, y)
+		return tape, wn, tape.SumAll(sq)
+	})
+}
+
+func TestActivationGrads(t *testing.T) {
+	acts := map[string]func(*Tape, *Node) *Node{
+		"relu":    func(tp *Tape, n *Node) *Node { return tp.ReLU(n) },
+		"sigmoid": func(tp *Tape, n *Node) *Node { return tp.Sigmoid(n) },
+		"tanh":    func(tp *Tape, n *Node) *Node { return tp.Tanh(n) },
+		"leaky":   func(tp *Tape, n *Node) *Node { return tp.LeakyReLU(n, 0.1) },
+	}
+	for name, act := range acts {
+		g := rng.New(3)
+		w := g.Gaussian(2, 3, 1)
+		// Nudge away from the ReLU kink for stable finite differences.
+		w.Apply(func(x float64) float64 {
+			if math.Abs(x) < 0.05 {
+				return x + 0.1
+			}
+			return x
+		})
+		checkGrad(t, name, w, func() (*Tape, *Node, *Node) {
+			tape := NewTape()
+			wn := tape.Param(w)
+			y := act(tape, wn)
+			sq := tape.Hadamard(y, y)
+			return tape, wn, tape.SumAll(sq)
+		})
+	}
+}
+
+func TestReductionGrads(t *testing.T) {
+	g := rng.New(4)
+	w := g.Gaussian(4, 3, 1)
+	checkGrad(t, "meanrows", w, func() (*Tape, *Node, *Node) {
+		tape := NewTape()
+		wn := tape.Param(w)
+		m := tape.MeanRows(wn)
+		sq := tape.Hadamard(m, m)
+		return tape, wn, tape.SumAll(sq)
+	})
+	checkGrad(t, "sumrows", w, func() (*Tape, *Node, *Node) {
+		tape := NewTape()
+		wn := tape.Param(w)
+		m := tape.SumRows(wn)
+		sq := tape.Hadamard(m, m)
+		return tape, wn, tape.SumAll(sq)
+	})
+}
+
+func TestAddRowBroadcastGrad(t *testing.T) {
+	g := rng.New(5)
+	bias := g.Gaussian(1, 3, 1)
+	x := g.Gaussian(4, 3, 1)
+	checkGrad(t, "bias", bias, func() (*Tape, *Node, *Node) {
+		tape := NewTape()
+		bn := tape.Param(bias)
+		xn := tape.Constant(x)
+		y := tape.AddRowBroadcast(xn, bn)
+		sq := tape.Hadamard(y, y)
+		return tape, bn, tape.SumAll(sq)
+	})
+}
+
+func TestConcatAndGatherGrads(t *testing.T) {
+	g := rng.New(6)
+	w := g.Gaussian(4, 2, 1)
+	other := g.Gaussian(4, 3, 1)
+	checkGrad(t, "concat", w, func() (*Tape, *Node, *Node) {
+		tape := NewTape()
+		wn := tape.Param(w)
+		on := tape.Constant(other)
+		y := tape.ConcatCols(wn, on)
+		sq := tape.Hadamard(y, y)
+		return tape, wn, tape.SumAll(sq)
+	})
+	checkGrad(t, "gather", w, func() (*Tape, *Node, *Node) {
+		tape := NewTape()
+		wn := tape.Param(w)
+		y := tape.GatherRows(wn, []int{0, 2, 2, 3})
+		sq := tape.Hadamard(y, y)
+		return tape, wn, tape.SumAll(sq)
+	})
+}
+
+func TestSoftmaxCrossEntropyGrad(t *testing.T) {
+	g := rng.New(7)
+	w := g.Gaussian(5, 3, 1)
+	labels := []int{0, 2, 1, 1, 0}
+	weights := []float64{1, 2, 0.5}
+	checkGrad(t, "xent", w, func() (*Tape, *Node, *Node) {
+		tape := NewTape()
+		wn := tape.Param(w)
+		return tape, wn, tape.SoftmaxCrossEntropy(wn, labels, weights)
+	})
+}
+
+func TestBCEWithLogitsGrad(t *testing.T) {
+	g := rng.New(8)
+	w := g.Gaussian(6, 1, 1)
+	targets := []float64{0, 1, 1, 0, 1, 0}
+	checkGrad(t, "bce", w, func() (*Tape, *Node, *Node) {
+		tape := NewTape()
+		wn := tape.Param(w)
+		return tape, wn, tape.BCEWithLogits(wn, targets, nil)
+	})
+}
+
+func TestContrastiveLossGradAndValues(t *testing.T) {
+	g := rng.New(9)
+	za := g.Gaussian(1, 4, 1)
+	zbRaw := g.Gaussian(1, 4, 1)
+	for _, diff := range []bool{false, true} {
+		checkGrad(t, "contrastive", za, func() (*Tape, *Node, *Node) {
+			tape := NewTape()
+			an := tape.Param(za)
+			bn := tape.Constant(zbRaw)
+			return tape, an, tape.ContrastiveLoss(an, bn, diff, 2.0)
+		})
+	}
+	// Same class: loss is squared distance.
+	tape := NewTape()
+	an := tape.Constant(za)
+	bn := tape.Constant(zbRaw)
+	l := tape.ContrastiveLoss(an, bn, false, 2.0)
+	want := math.Pow(mat.Dist2(za.Row(0), zbRaw.Row(0)), 2)
+	if math.Abs(l.Value.At(0, 0)-want) > 1e-10 {
+		t.Fatalf("same-class loss %v want %v", l.Value.At(0, 0), want)
+	}
+	// Different class, far apart beyond margin: loss clamps to 0.
+	far := za.Clone().Apply(func(x float64) float64 { return x + 100 })
+	tape = NewTape()
+	l = tape.ContrastiveLoss(tape.Constant(za), tape.Constant(far), true, 2.0)
+	if l.Value.At(0, 0) != 0 {
+		t.Fatalf("far different-class loss should clamp to 0, got %v", l.Value.At(0, 0))
+	}
+}
+
+func TestMSEGrad(t *testing.T) {
+	g := rng.New(10)
+	w := g.Gaussian(3, 2, 1)
+	target := g.Gaussian(3, 2, 1)
+	checkGrad(t, "mse", w, func() (*Tape, *Node, *Node) {
+		tape := NewTape()
+		wn := tape.Param(w)
+		return tape, wn, tape.MSE(wn, target)
+	})
+}
+
+func TestParamReuseAccumulates(t *testing.T) {
+	// Using the same parameter node twice must sum gradient contributions.
+	w := mat.NewDenseData(1, 1, []float64{3})
+	tape := NewTape()
+	wn := tape.Param(w)
+	y := tape.Hadamard(wn, wn) // w²
+	loss := tape.SumAll(y)
+	tape.Backward(loss)
+	if got := wn.Grad.At(0, 0); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("d(w²)/dw = %v want 6", got)
+	}
+}
+
+func TestDropout(t *testing.T) {
+	x := mat.NewDenseData(1, 4, []float64{1, 2, 3, 4})
+	mask := mat.NewDenseData(1, 4, []float64{1, 0, 1, 0})
+	tape := NewTape()
+	xn := tape.Param(x)
+	y := tape.Dropout(xn, mask, 0.5)
+	if y.Value.At(0, 0) != 2 || y.Value.At(0, 1) != 0 {
+		t.Fatalf("dropout forward: %v", y.Value)
+	}
+	loss := tape.SumAll(y)
+	tape.Backward(loss)
+	if xn.Grad.At(0, 0) != 2 || xn.Grad.At(0, 1) != 0 {
+		t.Fatalf("dropout grad: %v", xn.Grad)
+	}
+	// p=0 is identity.
+	tape2 := NewTape()
+	xn2 := tape2.Param(x)
+	if tape2.Dropout(xn2, mask, 0) != xn2 {
+		t.Fatal("dropout with p=0 must be identity")
+	}
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-scalar Backward")
+		}
+	}()
+	tape := NewTape()
+	n := tape.Param(mat.NewDense(2, 2))
+	tape.Backward(n)
+}
+
+func TestMaxRowsGradAndForward(t *testing.T) {
+	g := rng.New(11)
+	w := g.Gaussian(4, 3, 1)
+	// Keep entries well separated so the argmax is stable under the
+	// finite-difference probe.
+	w.Apply(func(x float64) float64 { return x * 3 })
+	checkGrad(t, "maxrows", w, func() (*Tape, *Node, *Node) {
+		tape := NewTape()
+		wn := tape.Param(w)
+		m := tape.MaxRows(wn)
+		sq := tape.Hadamard(m, m)
+		return tape, wn, tape.SumAll(sq)
+	})
+	// Forward correctness.
+	x := mat.NewDenseData(3, 2, []float64{1, 9, 5, 2, 3, 4})
+	tape := NewTape()
+	out := tape.MaxRows(tape.Constant(x))
+	if out.Value.At(0, 0) != 5 || out.Value.At(0, 1) != 9 {
+		t.Fatalf("MaxRows = %v", out.Value)
+	}
+}
+
+func TestScatterRowsGradAndForward(t *testing.T) {
+	g := rng.New(12)
+	w := g.Gaussian(2, 3, 1)
+	checkGrad(t, "scatter", w, func() (*Tape, *Node, *Node) {
+		tape := NewTape()
+		wn := tape.Param(w)
+		sc := tape.ScatterRows(wn, []int{3, 1}, 5)
+		sq := tape.Hadamard(sc, sc)
+		return tape, wn, tape.SumAll(sq)
+	})
+	// Forward: rows land at the right indices, rest zero.
+	x := mat.NewDenseData(1, 2, []float64{7, 8})
+	tape := NewTape()
+	out := tape.ScatterRows(tape.Constant(x), []int{2}, 4)
+	if out.Value.At(2, 0) != 7 || out.Value.At(2, 1) != 8 {
+		t.Fatalf("scatter misplaced: %v", out.Value)
+	}
+	if out.Value.At(0, 0) != 0 || out.Value.At(3, 1) != 0 {
+		t.Fatal("scatter should zero-fill other rows")
+	}
+}
+
+func TestAddSubScaleGrads(t *testing.T) {
+	g := rng.New(13)
+	w := g.Gaussian(2, 2, 1)
+	other := g.Gaussian(2, 2, 1)
+	checkGrad(t, "add", w, func() (*Tape, *Node, *Node) {
+		tape := NewTape()
+		wn := tape.Param(w)
+		on := tape.Constant(other)
+		y := tape.Add(wn, on)
+		return tape, wn, tape.SumAll(tape.Hadamard(y, y))
+	})
+	checkGrad(t, "sub", w, func() (*Tape, *Node, *Node) {
+		tape := NewTape()
+		wn := tape.Param(w)
+		on := tape.Constant(other)
+		y := tape.Sub(on, wn)
+		return tape, wn, tape.SumAll(tape.Hadamard(y, y))
+	})
+	checkGrad(t, "scale", w, func() (*Tape, *Node, *Node) {
+		tape := NewTape()
+		wn := tape.Param(w)
+		y := tape.Scale(wn, -2.5)
+		return tape, wn, tape.SumAll(tape.Hadamard(y, y))
+	})
+	checkGrad(t, "addconst", w, func() (*Tape, *Node, *Node) {
+		tape := NewTape()
+		wn := tape.Param(w)
+		y := tape.AddConst(wn, 1.7)
+		return tape, wn, tape.SumAll(tape.Hadamard(y, y))
+	})
+}

@@ -1,0 +1,129 @@
+// Package drift implements §III-B3 of the paper: detecting drifting
+// interaction-graph samples — novel vulnerability patterns outside the
+// training distribution — from federated contrastive graph representations
+// using per-class median-absolute-deviation statistics, plus the k-means
+// and exact t-SNE used to visualise the embedding space (Fig. 6).
+package drift
+
+import (
+	"math"
+
+	"fexiot/internal/mat"
+)
+
+// TM is the MAD multiple beyond which a sample is a potential drifting
+// sample; the paper sets it to 3 "empirically following existing
+// practices".
+const TM = 3.0
+
+// Detector holds the per-class statistics computed from training
+// embeddings.
+type Detector struct {
+	// Centroids per class (0 = normal, 1 = vulnerable).
+	Centroids [][]float64
+	// MedianDist and MAD of the distance-to-centroid distribution per
+	// class.
+	MedianDist []float64
+	MAD        []float64
+	// Threshold is the MAD multiple (default TM).
+	Threshold float64
+}
+
+// Fit computes class centroids and the MAD of within-class distances from
+// labelled training embeddings.
+func Fit(embeddings [][]float64, labels []int) *Detector {
+	if len(embeddings) == 0 || len(embeddings) != len(labels) {
+		panic("drift: Fit needs aligned non-empty embeddings and labels")
+	}
+	numClasses := 0
+	for _, l := range labels {
+		if l+1 > numClasses {
+			numClasses = l + 1
+		}
+	}
+	d := &Detector{Threshold: TM}
+	dim := len(embeddings[0])
+	for class := 0; class < numClasses; class++ {
+		centroid := make([]float64, dim)
+		n := 0
+		for i, l := range labels {
+			if l == class {
+				mat.Axpy(centroid, embeddings[i], 1)
+				n++
+			}
+		}
+		if n == 0 {
+			// Empty class: infinite distances so it never claims samples.
+			d.Centroids = append(d.Centroids, centroid)
+			d.MedianDist = append(d.MedianDist, math.Inf(1))
+			d.MAD = append(d.MAD, 1)
+			continue
+		}
+		for i := range centroid {
+			centroid[i] /= float64(n)
+		}
+		var dists []float64
+		for i, l := range labels {
+			if l == class {
+				dists = append(dists, mat.Dist2(embeddings[i], centroid))
+			}
+		}
+		med := mat.Median(dists)
+		devs := make([]float64, len(dists))
+		for i, x := range dists {
+			devs[i] = math.Abs(x - med)
+		}
+		madVal := mat.Median(devs)
+		if madVal < 1e-9 {
+			madVal = 1e-9 // degenerate class collapses to a point
+		}
+		d.Centroids = append(d.Centroids, centroid)
+		d.MedianDist = append(d.MedianDist, med)
+		d.MAD = append(d.MAD, madVal)
+	}
+	return d
+}
+
+// Anomaly returns A^k = min_i (d_i − median_i)₊ / MAD_i for a test
+// embedding: how many MADs the sample sits *beyond* its nearest class's
+// typical distance-to-centroid. The deviation is one-sided — §III-B3 asks
+// whether "d is large enough to make x an outlier", so samples closer than
+// typical to a centroid are maximally in-distribution, not anomalous.
+func (d *Detector) Anomaly(z []float64) float64 {
+	best := math.Inf(1)
+	for class := range d.Centroids {
+		if math.IsInf(d.MedianDist[class], 1) {
+			continue
+		}
+		dist := mat.Dist2(z, d.Centroids[class])
+		dev := dist - d.MedianDist[class]
+		if dev < 0 {
+			dev = 0
+		}
+		a := dev / d.MAD[class]
+		if a < best {
+			best = a
+		}
+	}
+	return best
+}
+
+// IsDrifting reports whether the sample exceeds the MAD threshold for every
+// class — "if a new sample has a larger distance from all existing classes,
+// then it is a potential drifting sample".
+func (d *Detector) IsDrifting(z []float64) bool {
+	return d.Anomaly(z) > d.Threshold
+}
+
+// FilterDrifting partitions test embeddings into in-distribution indices
+// and drifting indices.
+func (d *Detector) FilterDrifting(embeddings [][]float64) (in, drifting []int) {
+	for i, z := range embeddings {
+		if d.IsDrifting(z) {
+			drifting = append(drifting, i)
+		} else {
+			in = append(in, i)
+		}
+	}
+	return
+}

@@ -1,0 +1,226 @@
+package drift
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fexiot/internal/mat"
+	"fexiot/internal/rng"
+)
+
+// twoClasses builds embeddings at centres (0,0) and (10,10).
+func twoClasses(n int, spread float64, seed int64) ([][]float64, []int) {
+	r := rng.New(seed)
+	var x [][]float64
+	var y []int
+	for i := 0; i < n; i++ {
+		c := i % 2
+		cx := 0.0
+		if c == 1 {
+			cx = 10
+		}
+		x = append(x, []float64{cx + r.NormFloat64()*spread, cx + r.NormFloat64()*spread})
+		y = append(y, c)
+	}
+	return x, y
+}
+
+func TestDetectorFlagsFarSamples(t *testing.T) {
+	x, y := twoClasses(200, 0.5, 1)
+	d := Fit(x, y)
+	if d.IsDrifting([]float64{0.2, -0.1}) {
+		t.Fatal("in-distribution sample flagged")
+	}
+	if d.IsDrifting([]float64{10.3, 9.8}) {
+		t.Fatal("in-distribution class-1 sample flagged")
+	}
+	if !d.IsDrifting([]float64{100, -100}) {
+		t.Fatal("far outlier not flagged")
+	}
+	// Points between the classes but far from both are drifting.
+	if !d.IsDrifting([]float64{5, -40}) {
+		t.Fatal("off-manifold midpoint not flagged")
+	}
+}
+
+func TestDetectorAnomalyScoresOrdered(t *testing.T) {
+	x, y := twoClasses(200, 0.5, 3)
+	d := Fit(x, y)
+	near := d.Anomaly([]float64{0.1, 0.1})
+	mid := d.Anomaly([]float64{3, 3})
+	far := d.Anomaly([]float64{50, 50})
+	if !(near < mid && mid < far) {
+		t.Fatalf("anomaly not monotone with distance: %v %v %v", near, mid, far)
+	}
+}
+
+func TestMADPropertiesViaDetector(t *testing.T) {
+	// Scale equivariance: scaling embeddings scales distances but the MAD
+	// normalisation keeps anomaly scores invariant.
+	x, y := twoClasses(100, 0.7, 5)
+	d1 := Fit(x, y)
+	scaled := make([][]float64, len(x))
+	for i, v := range x {
+		scaled[i] = []float64{v[0] * 7, v[1] * 7}
+	}
+	d2 := Fit(scaled, y)
+	a1 := d1.Anomaly([]float64{2, 2})
+	a2 := d2.Anomaly([]float64{14, 14})
+	if math.Abs(a1-a2) > 1e-6 {
+		t.Fatalf("MAD scores not scale-equivariant: %v vs %v", a1, a2)
+	}
+}
+
+func TestFilterDrifting(t *testing.T) {
+	x, y := twoClasses(100, 0.5, 7)
+	d := Fit(x, y)
+	test := append([][]float64{}, x[:10]...)
+	test = append(test, []float64{99, 99}, []float64{-50, 50})
+	in, out := d.FilterDrifting(test)
+	// The MAD tail flags a small fraction of genuine in-distribution
+	// samples (the paper manually inspects its drifting candidates for the
+	// same reason); the two planted outliers must always be flagged.
+	if len(in) < 7 {
+		t.Fatalf("too many false drift flags: in=%d out=%d", len(in), len(out))
+	}
+	flagged := map[int]bool{}
+	for _, i := range out {
+		flagged[i] = true
+	}
+	if !flagged[10] || !flagged[11] {
+		t.Fatalf("planted outliers not flagged: %v", out)
+	}
+}
+
+func TestDetectorDegenerateClass(t *testing.T) {
+	// All points identical → MAD floor keeps scores finite.
+	x := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	y := []int{0, 0, 0}
+	d := Fit(x, y)
+	if math.IsNaN(d.Anomaly([]float64{1, 1})) {
+		t.Fatal("NaN anomaly on degenerate class")
+	}
+	if !d.IsDrifting([]float64{5, 5}) {
+		t.Fatal("clear outlier must drift off a point class")
+	}
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	x, y := twoClasses(200, 0.5, 9)
+	km := NewKMeans(2, 3)
+	km.Fit(x)
+	// Cluster assignment must align with true classes (up to relabelling).
+	agree := 0
+	for i := range x {
+		if km.Assigned[i] == y[i] {
+			agree++
+		}
+	}
+	frac := float64(agree) / float64(len(x))
+	if frac < 0.95 && frac > 0.05 {
+		t.Fatalf("clusters misaligned with classes: agreement %v", frac)
+	}
+	if km.Inertia <= 0 {
+		t.Fatal("inertia should be positive for spread data")
+	}
+	// Predict maps points to their nearest centre.
+	c0 := km.Predict([]float64{0, 0})
+	c1 := km.Predict([]float64{10, 10})
+	if c0 == c1 {
+		t.Fatal("distinct blobs predicted to one cluster")
+	}
+}
+
+func TestKMeansDeterminism(t *testing.T) {
+	x, _ := twoClasses(80, 0.6, 11)
+	a := NewKMeans(3, 5)
+	a.Fit(x)
+	b := NewKMeans(3, 5)
+	b.Fit(x)
+	for i := range a.Assigned {
+		if a.Assigned[i] != b.Assigned[i] {
+			t.Fatal("k-means not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestKMeansMoreClustersLowerInertia(t *testing.T) {
+	x, _ := twoClasses(150, 1.0, 13)
+	k2 := NewKMeans(2, 1)
+	k2.Fit(x)
+	k6 := NewKMeans(6, 1)
+	k6.Fit(x)
+	if k6.Inertia >= k2.Inertia {
+		t.Fatalf("k=6 inertia %v should undercut k=2 inertia %v",
+			k6.Inertia, k2.Inertia)
+	}
+}
+
+func TestTSNEPreservesClusterStructure(t *testing.T) {
+	x, y := twoClasses(120, 0.4, 17)
+	ts := NewTSNE()
+	ts.Iters = 150
+	emb := ts.Embed(x)
+	if len(emb) != len(x) {
+		t.Fatalf("embedding count %d", len(emb))
+	}
+	// Mean within-class distance must be far below cross-class distance.
+	var within, cross float64
+	var nw, nc int
+	for i := 0; i < len(emb); i++ {
+		for j := i + 1; j < len(emb); j++ {
+			d := mat.Dist2(emb[i], emb[j])
+			if y[i] == y[j] {
+				within += d
+				nw++
+			} else {
+				cross += d
+				nc++
+			}
+		}
+	}
+	within /= float64(nw)
+	cross /= float64(nc)
+	if cross < 2*within {
+		t.Fatalf("t-SNE lost cluster structure: within %v cross %v", within, cross)
+	}
+	for _, p := range emb {
+		if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+			t.Fatal("NaN in t-SNE output")
+		}
+	}
+}
+
+func TestTSNEDegenerateInputs(t *testing.T) {
+	ts := NewTSNE()
+	if out := ts.Embed(nil); out != nil {
+		t.Fatal("empty input should return nil")
+	}
+	if out := ts.Embed([][]float64{{1, 2, 3}}); len(out) != 1 {
+		t.Fatal("single point should embed")
+	}
+}
+
+func TestFitValidationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched inputs")
+		}
+	}()
+	Fit([][]float64{{1}}, []int{0, 1})
+}
+
+func TestAnomalyNonNegativeProperty(t *testing.T) {
+	x, y := twoClasses(60, 0.5, 23)
+	d := Fit(x, y)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		return d.Anomaly([]float64{a, b}) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package drift
+
+import (
+	"fexiot/internal/mat"
+	"fexiot/internal/rng"
+)
+
+// KMeans clusters vectors into k groups with Lloyd's algorithm and
+// k-means++ seeding (used for the Fig. 6 cluster visualisation).
+type KMeans struct {
+	K        int
+	MaxIter  int
+	Seed     int64
+	Centers  [][]float64
+	Assigned []int
+	Inertia  float64
+}
+
+// NewKMeans creates a clusterer.
+func NewKMeans(k int, seed int64) *KMeans {
+	return &KMeans{K: k, MaxIter: 100, Seed: seed}
+}
+
+// Fit runs Lloyd's algorithm.
+func (km *KMeans) Fit(x [][]float64) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	k := km.K
+	if k > n {
+		k = n
+	}
+	r := rng.New(km.Seed)
+
+	// k-means++ seeding.
+	centers := make([][]float64, 0, k)
+	centers = append(centers, cloneVec(x[r.Intn(n)]))
+	d2 := make([]float64, n)
+	for len(centers) < k {
+		var total float64
+		for i, p := range x {
+			best := mat.Dist2(p, centers[0])
+			for _, c := range centers[1:] {
+				if d := mat.Dist2(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best * best
+			total += d2[i]
+		}
+		if total == 0 {
+			centers = append(centers, cloneVec(x[r.Intn(n)]))
+			continue
+		}
+		centers = append(centers, cloneVec(x[r.PickWeighted(d2)]))
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < km.MaxIter; iter++ {
+		changed := false
+		for i, p := range x {
+			best := 0
+			bestD := mat.Dist2(p, centers[0])
+			for c := 1; c < k; c++ {
+				if d := mat.Dist2(p, centers[c]); d < bestD {
+					bestD, best = d, c
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centres.
+		dim := len(x[0])
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range x {
+			mat.Axpy(sums[assign[i]], p, 1)
+			counts[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue // keep old centre for empty clusters
+			}
+			for j := range sums[c] {
+				sums[c][j] /= float64(counts[c])
+			}
+			centers[c] = sums[c]
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	km.Centers = centers
+	km.Assigned = assign
+	km.Inertia = 0
+	for i, p := range x {
+		d := mat.Dist2(p, centers[assign[i]])
+		km.Inertia += d * d
+	}
+}
+
+// Predict returns the nearest centre index.
+func (km *KMeans) Predict(p []float64) int {
+	best := 0
+	bestD := mat.Dist2(p, km.Centers[0])
+	for c := 1; c < len(km.Centers); c++ {
+		if d := mat.Dist2(p, km.Centers[c]); d < bestD {
+			bestD, best = d, c
+		}
+	}
+	return best
+}
+
+func cloneVec(v []float64) []float64 { return append([]float64(nil), v...) }

@@ -1,0 +1,187 @@
+package drift
+
+import (
+	"math"
+
+	"fexiot/internal/mat"
+)
+
+// TSNE is exact t-distributed stochastic neighbour embedding (van der
+// Maaten & Hinton) with PCA initialisation — the dimensionality reduction
+// behind Fig. 6. Exact O(n²) gradients are fine at the paper's n = 1500.
+type TSNE struct {
+	Perplexity float64
+	Iters      int
+	LR         float64
+	Seed       int64
+}
+
+// NewTSNE uses the conventional defaults.
+func NewTSNE() *TSNE {
+	return &TSNE{Perplexity: 30, Iters: 300, LR: 100}
+}
+
+// Embed reduces x (n×d) to n×2 coordinates.
+func (t *TSNE) Embed(x [][]float64) [][]float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return [][]float64{{0, 0}}
+	}
+	perp := t.Perplexity
+	if perp > float64(n-1)/3 {
+		perp = float64(n-1) / 3
+	}
+	if perp < 2 {
+		perp = 2
+	}
+
+	// Pairwise squared distances.
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+		for j := 0; j < i; j++ {
+			d := mat.Dist2(x[i], x[j])
+			d2[i][j] = d * d
+			d2[j][i] = d * d
+		}
+	}
+
+	// Per-point sigma via binary search on entropy = log(perplexity).
+	p := make([][]float64, n)
+	target := math.Log(perp)
+	for i := 0; i < n; i++ {
+		p[i] = make([]float64, n)
+		lo, hi := 1e-10, 1e10
+		beta := 1.0
+		for it := 0; it < 50; it++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				p[i][j] = math.Exp(-d2[i][j] * beta)
+				sum += p[i][j]
+			}
+			if sum == 0 {
+				sum = 1e-12
+			}
+			var entropy float64
+			for j := 0; j < n; j++ {
+				if j == i || p[i][j] == 0 {
+					continue
+				}
+				pj := p[i][j] / sum
+				entropy -= pj * math.Log(pj)
+			}
+			if math.Abs(entropy-target) < 1e-4 {
+				break
+			}
+			if entropy > target {
+				lo = beta
+				if hi > 1e9 {
+					beta *= 2
+				} else {
+					beta = (beta + hi) / 2
+				}
+			} else {
+				hi = beta
+				beta = (beta + lo) / 2
+			}
+		}
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += p[i][j]
+		}
+		if sum == 0 {
+			sum = 1e-12
+		}
+		for j := 0; j < n; j++ {
+			p[i][j] /= sum
+		}
+	}
+	// Symmetrise with early exaggeration.
+	pSym := make([][]float64, n)
+	for i := range pSym {
+		pSym[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := (p[i][j] + p[j][i]) / (2 * float64(n))
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			pSym[i][j] = v
+		}
+	}
+
+	// PCA init scaled down.
+	xm := mat.NewDense(n, len(x[0]))
+	for i, row := range x {
+		xm.SetRow(i, row)
+	}
+	init := mat.PCA(xm, 2, 30)
+	y := make([][]float64, n)
+	for i := range y {
+		y[i] = []float64{init.At(i, 0) * 1e-2, init.At(i, 1) * 1e-2}
+	}
+
+	vel := make([][]float64, n)
+	for i := range vel {
+		vel[i] = make([]float64, 2)
+	}
+	grad := make([][]float64, n)
+	for i := range grad {
+		grad[i] = make([]float64, 2)
+	}
+	q := make([][]float64, n)
+	for i := range q {
+		q[i] = make([]float64, n)
+	}
+
+	for iter := 0; iter < t.Iters; iter++ {
+		exag := 1.0
+		if iter < t.Iters/4 {
+			exag = 4 // early exaggeration
+		}
+		momentum := 0.5
+		if iter >= 50 {
+			momentum = 0.8
+		}
+		// Student-t affinities.
+		var qSum float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := y[i][0] - y[j][0]
+				dy := y[i][1] - y[j][1]
+				v := 1 / (1 + dx*dx + dy*dy)
+				q[i][j] = v
+				q[j][i] = v
+				qSum += 2 * v
+			}
+		}
+		if qSum == 0 {
+			qSum = 1e-12
+		}
+		for i := 0; i < n; i++ {
+			grad[i][0], grad[i][1] = 0, 0
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				mult := (exag*pSym[i][j] - q[i][j]/qSum) * q[i][j]
+				grad[i][0] += 4 * mult * (y[i][0] - y[j][0])
+				grad[i][1] += 4 * mult * (y[i][1] - y[j][1])
+			}
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < 2; k++ {
+				vel[i][k] = momentum*vel[i][k] - t.LR*grad[i][k]
+				y[i][k] += vel[i][k]
+			}
+		}
+	}
+	return y
+}

@@ -1,0 +1,75 @@
+package embed
+
+import (
+	"math"
+
+	"fexiot/internal/mat"
+)
+
+// DTWDistance computes the dynamic-time-warping distance between two
+// sequences of embedding vectors using cosine distance (1 − cosine
+// similarity) as the local cost. The paper uses DTW to compare verb-element
+// and object-element sequences of different lengths (§III-A1 feature (i)).
+func DTWDistance(a, b [][]float64) float64 {
+	n, m := len(a), len(b)
+	if n == 0 && m == 0 {
+		return 0
+	}
+	if n == 0 || m == 0 {
+		return float64(n + m) // maximal mismatch per unmatched element
+	}
+	const inf = math.MaxFloat64 / 4
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = inf
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = inf
+		for j := 1; j <= m; j++ {
+			cost := 1 - mat.CosineSimilarity(a[i-1], b[j-1])
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = cost + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// DTWSimilarity converts the DTW distance into a (0,1] similarity score,
+// normalised by the warped path's worst case.
+func DTWSimilarity(a, b [][]float64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	d := DTWDistance(a, b)
+	longest := len(a)
+	if len(b) > longest {
+		longest = len(b)
+	}
+	// Local cosine cost is bounded by 2 per step; path length is bounded by
+	// n+m, but normalising by the longer side keeps similar-length matches
+	// comparable.
+	return 1 / (1 + d/float64(longest))
+}
+
+// ElementSimilarity embeds two word-element lists and returns their DTW
+// similarity. Used for both the verb-similarity and the object-similarity
+// correlation features.
+func (e *Encoder) ElementSimilarity(as, bs []string) float64 {
+	av := make([][]float64, len(as))
+	for i, w := range as {
+		av[i] = e.Word(w)
+	}
+	bv := make([][]float64, len(bs))
+	for i, w := range bs {
+		bv[i] = e.Word(w)
+	}
+	return DTWSimilarity(av, bv)
+}

@@ -1,0 +1,178 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fexiot/internal/mat"
+)
+
+func TestWordDeterminism(t *testing.T) {
+	e1 := NewEncoder(64, 96)
+	e2 := NewEncoder(64, 96)
+	a := e1.Word("light")
+	b := e2.Word("light")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embeddings must be deterministic across encoders")
+		}
+	}
+}
+
+func TestWordNormalised(t *testing.T) {
+	e := NewEncoder(64, 96)
+	for _, w := range []string{"light", "camera", "zzzunknown", "detect"} {
+		n := mat.Norm2(e.Word(w))
+		if math.Abs(n-1) > 1e-9 {
+			t.Errorf("‖%s‖ = %v want 1", w, n)
+		}
+	}
+}
+
+func TestSemanticStructure(t *testing.T) {
+	e := NewEncoder(128, 128)
+	synSim := e.Similarity("light", "lamp")
+	unrelSim := e.Similarity("light", "humidity")
+	if synSim < 0.8 {
+		t.Errorf("synonym similarity %v too low", synSim)
+	}
+	if synSim <= unrelSim+0.3 {
+		t.Errorf("synonyms (%v) must be far closer than unrelated (%v)",
+			synSim, unrelSim)
+	}
+	// Hypernym sharing: two appliances closer than appliance vs hazard.
+	applSim := e.Similarity("heater", "fan")
+	crossSim := e.Similarity("heater", "smoke")
+	if applSim <= crossSim {
+		t.Errorf("co-hyponyms (%v) should be closer than cross-category (%v)",
+			applSim, crossSim)
+	}
+}
+
+func TestSentenceEmbedding(t *testing.T) {
+	e := NewEncoder(64, 96)
+	s := e.Sentence("turn on the light")
+	if len(s) != 96 {
+		t.Fatalf("sentence dim %d", len(s))
+	}
+	if math.Abs(mat.Norm2(s)-1) > 1e-9 {
+		t.Fatal("sentence embedding must be unit norm")
+	}
+	// Paraphrase closer than unrelated sentence.
+	para := e.Sentence("switch on the lamp")
+	unrel := e.Sentence("water leak detected in basement")
+	simPara := mat.CosineSimilarity(s, para)
+	simUnrel := mat.CosineSimilarity(s, unrel)
+	if simPara <= simUnrel {
+		t.Errorf("paraphrase sim %v should exceed unrelated sim %v",
+			simPara, simUnrel)
+	}
+	// Word order matters (bigram term).
+	rev := e.Sentence("light the on turn")
+	if mat.CosineSimilarity(s, rev) >= 0.9999 {
+		t.Error("word order should perturb the sentence embedding")
+	}
+	// Empty input yields the zero vector without panicking.
+	if mat.Norm2(e.Sentence("the a an")) != 0 {
+		t.Error("stopword-only sentence should embed to zero")
+	}
+}
+
+func TestPairEmbeddingEq1(t *testing.T) {
+	e := NewEncoder(32, 48)
+	a := e.PairEmbedding("motion is detected", "turn lights on")
+	if len(a) != 32 {
+		t.Fatalf("pair dim %d", len(a))
+	}
+	// Eq. (1) is additive: pair = mean(trigger words) + mean(action words).
+	trigOnly := e.PairEmbedding("motion is detected", "")
+	actOnly := e.PairEmbedding("", "turn lights on")
+	for i := range a {
+		if math.Abs(a[i]-(trigOnly[i]+actOnly[i])) > 1e-9 {
+			t.Fatal("pair embedding must decompose additively per Eq. (1)")
+		}
+	}
+}
+
+func TestKeyPhraseEmbedding(t *testing.T) {
+	e := NewEncoder(32, 48)
+	v := e.KeyPhraseEmbedding("Close the water valve when a water leak is detected")
+	if mat.Norm2(v) == 0 {
+		t.Fatal("key-phrase embedding is zero")
+	}
+	if len(v) != 32 {
+		t.Fatalf("dim %d", len(v))
+	}
+	if mat.Norm2(e.KeyPhraseEmbedding("")) != 0 {
+		t.Fatal("empty rule must embed to zero")
+	}
+}
+
+func TestDTWIdenticalSequences(t *testing.T) {
+	e := NewEncoder(32, 48)
+	seq := []string{"turn", "open", "close"}
+	if got := e.ElementSimilarity(seq, seq); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("self DTW similarity = %v want 1", got)
+	}
+}
+
+func TestDTWHandlesLengthMismatch(t *testing.T) {
+	e := NewEncoder(32, 48)
+	// Same verbs with a repetition: DTW should stay near 1.
+	a := []string{"turn", "turn", "open"}
+	b := []string{"turn", "open"}
+	simRepeat := e.ElementSimilarity(a, b)
+	simDiff := e.ElementSimilarity([]string{"turn", "open"}, []string{"humidity", "smoke"})
+	if simRepeat <= simDiff {
+		t.Fatalf("repeat sim %v should exceed different-word sim %v",
+			simRepeat, simDiff)
+	}
+	if simRepeat < 0.8 {
+		t.Fatalf("warped repeat similarity %v too low", simRepeat)
+	}
+}
+
+func TestDTWEmptySequences(t *testing.T) {
+	if DTWSimilarity(nil, nil) != 1 {
+		t.Fatal("two empty sequences are identical")
+	}
+	e := NewEncoder(16, 16)
+	if s := e.ElementSimilarity(nil, []string{"open"}); s <= 0 || s >= 1 {
+		t.Fatalf("empty-vs-nonempty similarity %v out of (0,1)", s)
+	}
+}
+
+func TestDTWSymmetryProperty(t *testing.T) {
+	e := NewEncoder(16, 16)
+	words := []string{"open", "close", "turn", "lock", "detect", "smoke"}
+	f := func(ai, bi uint8) bool {
+		a := []string{words[int(ai)%len(words)], words[int(ai/7)%len(words)]}
+		b := []string{words[int(bi)%len(words)]}
+		return math.Abs(e.ElementSimilarity(a, b)-e.ElementSimilarity(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashGaussianMoments(t *testing.T) {
+	v := hashGaussian("moment-test", 4096, 1.0)
+	m := mat.Mean(v)
+	sd := mat.Std(v)
+	if math.Abs(m) > 0.08 {
+		t.Fatalf("mean %v too far from 0", m)
+	}
+	if math.Abs(sd-1) > 0.08 {
+		t.Fatalf("std %v too far from 1", sd)
+	}
+}
+
+func TestWordCaching(t *testing.T) {
+	e := NewEncoder(32, 48)
+	a := e.Word("valve")
+	b := e.Word("valve")
+	if &a[0] != &b[0] {
+		t.Fatal("cache should return the same slice")
+	}
+}

@@ -1,0 +1,144 @@
+package eventlog
+
+import (
+	"fexiot/internal/rng"
+	"fexiot/internal/rules"
+)
+
+// Attack identifies one of the five HAWatcher attack classes the paper
+// injects to create external graph vulnerabilities (§IV-A).
+type Attack int
+
+// The five attack classes.
+const (
+	FakeEvents Attack = iota
+	FakeCommands
+	StealthyCommands
+	CommandFailure
+	EventLosses
+	NumAttacks
+)
+
+// String names the attack.
+func (a Attack) String() string {
+	switch a {
+	case FakeEvents:
+		return "fake_events"
+	case FakeCommands:
+		return "fake_commands"
+	case StealthyCommands:
+		return "stealthy_commands"
+	case CommandFailure:
+		return "command_failure"
+	case EventLosses:
+		return "event_losses"
+	default:
+		return "unknown"
+	}
+}
+
+// Inject applies the attack to a copy of the log and returns it. The
+// deployed rule set provides the device vocabulary for spoofed entries.
+// Intensity in (0,1] scales how many records are affected.
+func Inject(log Log, a Attack, deployed []*rules.Rule, intensity float64, seed int64) Log {
+	r := rng.New(seed)
+	out := append(Log(nil), log...)
+	if len(out) == 0 {
+		return out
+	}
+	n := int(float64(len(out))*intensity*0.2) + 1
+	switch a {
+	case FakeEvents:
+		// Sensor events that no physical cause produced: spoofed state
+		// reports inserted at random times.
+		for i := 0; i < n; i++ {
+			src := out[r.Intn(len(out))]
+			fake := src
+			fake.Kind = KindSensor
+			fake.RuleID = ""
+			fake.Value = flipValue(src.Value)
+			fake.Time = out[r.Intn(len(out))].Time
+			out = insertSorted(out, fake)
+		}
+	case FakeCommands:
+		// Actuator commands issued by no rule (an attacker speaking the
+		// device protocol).
+		for i := 0; i < n; i++ {
+			eff := randomEffect(deployed, r)
+			if eff == nil {
+				break
+			}
+			fake := Event{Time: out[r.Intn(len(out))].Time, Device: eff.Device,
+				Room: eff.Room, Channel: eff.Channel, Value: eff.State,
+				Kind: KindCommand}
+			out = insertSorted(out, fake)
+		}
+	case StealthyCommands:
+		// Commands whose log entries are suppressed while their state
+		// changes remain — the state appears to change with no cause.
+		removed := 0
+		for i := 0; i < len(out) && removed < n; i++ {
+			if out[i].Kind == KindCommand && r.Bool(0.6) {
+				out = append(out[:i], out[i+1:]...)
+				removed++
+				i--
+			}
+		}
+	case CommandFailure:
+		// Commands logged but never taking effect: drop the matching state
+		// confirmation.
+		dropped := 0
+		for i := 0; i < len(out) && dropped < n; i++ {
+			if out[i].Kind == KindState && r.Bool(0.6) {
+				out = append(out[:i], out[i+1:]...)
+				dropped++
+				i--
+			}
+		}
+	case EventLosses:
+		// Random records vanish (jammed radio, dropped packets).
+		for i := 0; i < n && len(out) > 1; i++ {
+			idx := r.Intn(len(out))
+			out = append(out[:idx], out[idx+1:]...)
+		}
+	}
+	return out
+}
+
+// flipValue returns the opposite pole when one exists, else the value.
+func flipValue(v string) string {
+	if o := rules.OppositeState(v); o != "" {
+		return o
+	}
+	return v
+}
+
+// randomEffect samples an action from the deployed rules.
+func randomEffect(deployed []*rules.Rule, r *rng.RNG) *rules.Effect {
+	if len(deployed) == 0 {
+		return nil
+	}
+	for trial := 0; trial < 10; trial++ {
+		rule := deployed[r.Intn(len(deployed))]
+		if len(rule.Actions) > 0 {
+			eff := rule.Actions[r.Intn(len(rule.Actions))]
+			if o := rules.OppositeState(eff.State); o != "" {
+				eff.State = o // the attacker commands the opposite of normal
+			}
+			return &eff
+		}
+	}
+	return nil
+}
+
+// insertSorted inserts e keeping the log time-ordered.
+func insertSorted(log Log, e Event) Log {
+	i := len(log)
+	for i > 0 && log[i-1].Time > e.Time {
+		i--
+	}
+	log = append(log, Event{})
+	copy(log[i+1:], log[i:])
+	log[i] = e
+	return log
+}

@@ -1,0 +1,144 @@
+package eventlog
+
+import (
+	"fexiot/internal/jenks"
+	"fexiot/internal/rules"
+)
+
+// Clean reproduces the log-cleaning step of §III-A2:
+//
+//  1. execution-error records are dropped (they do not change device state);
+//  2. repetitive readings — consecutive reports of the same device with an
+//     unchanged value — are collapsed to the first occurrence;
+//  3. numeric sensor readings are converted to the logical levels app
+//     descriptions use ("humidity is 32" → "humidity is low") with Jenks
+//     natural breaks over the device's own reading history.
+func Clean(log Log) Log {
+	// Pass 1: collect numeric histories per device instance.
+	histories := map[string][]float64{}
+	for _, e := range log {
+		if e.IsNumeric && !e.Err {
+			k := Instance{Device: e.Device, Room: e.Room}.key()
+			histories[k] = append(histories[k], e.Numeric)
+		}
+	}
+	breaksFor := map[string][]float64{}
+	for k, h := range histories {
+		if len(h) >= 2 {
+			breaksFor[k] = jenks.Breaks(h, 2)
+		}
+	}
+
+	var out Log
+	lastValue := map[string]string{}
+	for _, e := range log {
+		if e.Err || e.Kind == KindError {
+			continue
+		}
+		if e.IsNumeric {
+			k := Instance{Device: e.Device, Room: e.Room}.key()
+			level := "low"
+			if b := breaksFor[k]; len(b) > 0 {
+				names := jenks.LevelNames(len(b) + 1)
+				level = names[jenks.Classify(e.Numeric, b)]
+			}
+			e.Value = level
+			e.IsNumeric = false
+			e.Numeric = 0
+		}
+		vk := Instance{Device: e.Device, Room: e.Room}.key() + "|" + e.Channel.String()
+		if lastValue[vk] == e.Value && e.Kind == KindSensor {
+			continue // repetitive reading
+		}
+		lastValue[vk] = e.Value
+		out = append(out, e)
+	}
+	return out
+}
+
+// DeviceStates extracts the final observed logical state of every device
+// instance from a cleaned log.
+func DeviceStates(log Log) map[Instance]string {
+	out := map[Instance]string{}
+	for _, e := range log {
+		if e.Err {
+			continue
+		}
+		out[Instance{Device: e.Device, Room: e.Room}] = e.Value
+	}
+	return out
+}
+
+// EventTypes assigns a compact integer id to every distinct
+// (device, room, channel, value) event shape — the vocabulary DeepLog's
+// LSTM models (Table II).
+type EventTypes struct {
+	ids   map[string]int
+	names []string
+}
+
+// NewEventTypes creates an empty vocabulary.
+func NewEventTypes() *EventTypes {
+	return &EventTypes{ids: map[string]int{}}
+}
+
+// ID interns the event's type, growing the vocabulary as needed.
+func (v *EventTypes) ID(e Event) int {
+	k := e.Room + "|" + e.Device + "|" + e.Channel.String() + "|" + e.Value
+	if id, ok := v.ids[k]; ok {
+		return id
+	}
+	id := len(v.names)
+	v.ids[k] = id
+	v.names = append(v.names, k)
+	return id
+}
+
+// Lookup returns the id without growing (-1 when unseen).
+func (v *EventTypes) Lookup(e Event) int {
+	k := e.Room + "|" + e.Device + "|" + e.Channel.String() + "|" + e.Value
+	if id, ok := v.ids[k]; ok {
+		return id
+	}
+	return -1
+}
+
+// Size is the vocabulary size.
+func (v *EventTypes) Size() int { return len(v.names) }
+
+// Sequence converts a log into its event-type id sequence, interning new
+// types when grow is true and mapping unseen types to a reserved id
+// otherwise.
+func (v *EventTypes) Sequence(log Log, grow bool) []int {
+	out := make([]int, 0, len(log))
+	for _, e := range log {
+		if grow {
+			out = append(out, v.ID(e))
+		} else if id := v.Lookup(e); id >= 0 {
+			out = append(out, id)
+		} else {
+			out = append(out, v.Size()) // unseen-type sentinel
+		}
+	}
+	return out
+}
+
+// StatusVector summarises a cleaned log as a fixed-length numeric vector
+// (per-channel positive-state counts and command counts) — the input
+// representation for the IsolationForest baseline of Table II.
+func StatusVector(log Log) []float64 {
+	out := make([]float64, 2*rules.NumChannels)
+	for _, e := range log {
+		ch := int(e.Channel)
+		if ch >= rules.NumChannels {
+			continue
+		}
+		if rules.StateSign(e.Value) > 0 {
+			out[ch]++
+		}
+		if e.Kind == KindCommand {
+			out[rules.NumChannels+ch]++
+		}
+	}
+	return out
+}

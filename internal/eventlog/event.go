@@ -1,0 +1,69 @@
+// Package eventlog simulates the runtime side of a smart home: a
+// discrete-event simulator executes the deployed automation rules against a
+// physical environment model and emits timestamped device event logs with
+// realistic noise; cleaning reproduces §III-A2 (duplicate-reading and
+// execution-error removal, Jenks numeric→logical conversion); and the five
+// HAWatcher attack injectors of §IV-A create the external-vulnerability
+// online graphs of Table II.
+package eventlog
+
+import (
+	"fmt"
+
+	"fexiot/internal/rules"
+)
+
+// Event is one record of a device event log (Fig. 1b: time, device,
+// status).
+type Event struct {
+	Time      int64 // simulated seconds since log start
+	Device    string
+	Room      string
+	Channel   rules.Channel
+	Value     string  // logical state ("on", "detected", …) or numeric text
+	Numeric   float64 // numeric reading when IsNumeric
+	IsNumeric bool
+	Err       bool   // execution-error record
+	RuleID    string // rule whose action produced the event ("" for sensors)
+	Kind      EventKind
+}
+
+// EventKind distinguishes event provenance.
+type EventKind int
+
+// Event kinds.
+const (
+	KindSensor  EventKind = iota // periodic or change-driven sensor report
+	KindCommand                  // actuator command issued by a rule
+	KindState                    // actuator state-change confirmation
+	KindError                    // execution error
+)
+
+// String renders an event like a log line.
+func (e Event) String() string {
+	dev := e.Device
+	if e.Room != "" {
+		dev = e.Room + " " + dev
+	}
+	val := e.Value
+	if e.IsNumeric {
+		val = fmt.Sprintf("%.1f", e.Numeric)
+	}
+	suffix := ""
+	if e.Err {
+		suffix = " [error]"
+	}
+	return fmt.Sprintf("t=%06d %s: %s%s", e.Time, dev, val, suffix)
+}
+
+// Log is an ordered sequence of events.
+type Log []Event
+
+// Instance identifies a concrete device (kind + room).
+type Instance struct {
+	Device string
+	Room   string
+}
+
+// key formats an instance key.
+func (i Instance) key() string { return i.Room + "|" + i.Device }

@@ -1,0 +1,334 @@
+package eventlog
+
+import (
+	"sort"
+
+	"fexiot/internal/rng"
+	"fexiot/internal/rules"
+)
+
+// Simulator executes deployed rules against an environment model and
+// produces event logs. The environment keeps a numeric level per
+// (room, channel); actions shift levels, sensors threshold them, and rule
+// triggers fire on state transitions — a closed causal loop, so the logs
+// carry genuine trigger-action structure rather than random noise.
+type Simulator struct {
+	Rules []*rules.Rule
+
+	// Noise configuration (§III-A2 describes exactly these artefacts).
+	PeriodicReportEvery int64   // sensors re-report unchanged values this often
+	ErrorProb           float64 // chance an actuation logs an execution error
+	ExternalEventRate   float64 // rate of spontaneous environment happenings per step
+
+	r           *rng.RNG
+	deviceState map[string]string  // instance key → logical state
+	envLevel    map[string]float64 // room|channel → numeric level
+	clockState  string
+}
+
+// NewSimulator builds a simulator over a deployed rule set.
+func NewSimulator(deployed []*rules.Rule, seed int64) *Simulator {
+	return &Simulator{
+		Rules:               deployed,
+		PeriodicReportEvery: 60,
+		ErrorProb:           0.03,
+		ExternalEventRate:   0.3,
+		r:                   rng.New(seed),
+		deviceState:         map[string]string{},
+		envLevel:            map[string]float64{},
+	}
+}
+
+func envKeyOf(room string, ch rules.Channel) string {
+	return room + "|" + ch.String()
+}
+
+// baselines per channel: typical numeric level and the shift one actuation
+// causes.
+func channelBaseline(ch rules.Channel) (base, shift float64) {
+	switch ch {
+	case rules.ChanTemperature:
+		return 21, 6
+	case rules.ChanHumidity:
+		return 40, 18
+	case rules.ChanIlluminance:
+		return 120, 180
+	case rules.ChanSound:
+		return 30, 25
+	case rules.ChanEnergy:
+		return 100, 150
+	default:
+		return 0, 1
+	}
+}
+
+// Run simulates `steps` ticks (1 tick = 1 simulated second) and returns the
+// raw event log, noise included.
+func (s *Simulator) Run(steps int64) Log {
+	var log Log
+	lastReport := map[string]int64{}
+	lastValue := map[string]float64{}
+
+	emitSensor := func(t int64, inst Instance, ch rules.Channel, value string, numeric float64, isNum bool) {
+		log = append(log, Event{Time: t, Device: inst.Device, Room: inst.Room,
+			Channel: ch, Value: value, Numeric: numeric, IsNumeric: isNum,
+			Kind: KindSensor})
+	}
+
+	clockCycle := []string{"morning", "sunset", "night", "sunrise"}
+	for t := int64(0); t < steps; t++ {
+		// 0. The clock advances through the schedule states so time
+		// triggers ("at sunset, …") fire periodically.
+		s.clockState = clockCycle[(t/300)%int64(len(clockCycle))]
+
+		// 1. Spontaneous external happenings keep the home alive: motion,
+		// button presses, presence flips, manual door/lock operation.
+		if s.r.Bool(s.ExternalEventRate) {
+			s.externalHappening(t, &log)
+		}
+
+		// 2. Rule evaluation: a rule fires when its trigger condition holds
+		// in the current state; its actions mutate device state and
+		// environment and are logged.
+		for _, rule := range s.Rules {
+			if !s.conditionHolds(rule.Trigger) {
+				continue
+			}
+			// Debounce: a rule fires at most once per 30 ticks.
+			dk := "fired|" + rule.ID
+			if last, ok := lastReport[dk]; ok && t-last < 30 {
+				continue
+			}
+			lastReport[dk] = t
+			for _, eff := range rule.Actions {
+				s.applyEffect(t, rule, eff, &log)
+			}
+		}
+
+		// 3. Periodic sensor reporting with drift — the repetitive-reading
+		// noise the cleaner must strip.
+		for _, inst := range s.sensorInstances() {
+			rk := "report|" + inst.key()
+			if t-lastReport[rk] < s.PeriodicReportEvery {
+				continue
+			}
+			lastReport[rk] = t
+			ch := s.senseChannelOf(inst.Device)
+			if numericChannel(ch) {
+				level := s.level(inst.Room, ch)
+				level += s.r.NormFloat64() * 0.4 // sensor jitter
+				emitSensor(t, inst, ch, "", level, true)
+				lastValue[rk] = level
+			} else {
+				state := s.logicalSensorState(inst, ch)
+				emitSensor(t, inst, ch, state, 0, false)
+			}
+		}
+
+		// 4. Environment relaxation toward baseline.
+		for k := range s.envLevel {
+			s.envLevel[k] *= 0.995
+		}
+	}
+	sort.SliceStable(log, func(i, j int) bool { return log[i].Time < log[j].Time })
+	return log
+}
+
+// externalHappening injects a spontaneous cause.
+func (s *Simulator) externalHappening(t int64, log *Log) {
+	insts := s.sensorInstances()
+	if len(insts) == 0 {
+		return
+	}
+	inst := insts[s.r.Intn(len(insts))]
+	ch := s.senseChannelOf(inst.Device)
+	emit := func(value string) {
+		s.deviceState[inst.key()] = value
+		*log = append(*log, Event{Time: t, Device: inst.Device, Room: inst.Room,
+			Channel: ch, Value: value, Kind: KindSensor})
+	}
+	switch ch {
+	case rules.ChanMotion, rules.ChanButton:
+		emit(positivePole(ch))
+	case rules.ChanPresence:
+		if s.deviceState[inst.key()] == "home" {
+			emit("away")
+		} else {
+			emit("home")
+		}
+	case rules.ChanContact, rules.ChanLockState:
+		// Residents open/close doors and windows and toggle locks by hand.
+		if s.deviceState[inst.key()] == positivePole(ch) {
+			emit(negativePole(ch))
+		} else {
+			emit(positivePole(ch))
+		}
+	case rules.ChanSmoke, rules.ChanCO, rules.ChanLeak:
+		// Hazards are rare but must occur for safety rules to exercise.
+		if s.r.Bool(0.15) {
+			emit(positivePole(ch))
+		} else if s.deviceState[inst.key()] == positivePole(ch) {
+			emit(negativePole(ch)) // hazard clears
+		}
+	case rules.ChanWeather:
+		emit([]string{"raining", "sunny", "windy", "snowing"}[s.r.Intn(4)])
+	default:
+		// Environmental nudge (weather, a window opened by hand, …).
+		base, shift := channelBaseline(ch)
+		k := envKeyOf(inst.Room, ch)
+		if _, ok := s.envLevel[k]; !ok {
+			s.envLevel[k] = base
+		}
+		s.envLevel[k] += s.r.Range(-shift/2, shift/2)
+	}
+}
+
+// applyEffect executes one rule action: logs the command, maybe errors,
+// updates device state, shifts environment levels, and logs the state
+// change.
+func (s *Simulator) applyEffect(t int64, rule *rules.Rule, eff rules.Effect, log *Log) {
+	inst := Instance{Device: eff.Device, Room: eff.Room}
+	*log = append(*log, Event{Time: t, Device: eff.Device, Room: eff.Room,
+		Channel: eff.Channel, Value: eff.State, RuleID: rule.ID, Kind: KindCommand})
+	if s.r.Bool(s.ErrorProb) {
+		// Execution error: the command is logged, an error follows, and the
+		// state does not change — cleaning drops these (§III-A2).
+		*log = append(*log, Event{Time: t, Device: eff.Device, Room: eff.Room,
+			Channel: eff.Channel, Value: eff.State, Err: true, RuleID: rule.ID,
+			Kind: KindError})
+		return
+	}
+	s.deviceState[inst.key()] = eff.State
+	*log = append(*log, Event{Time: t + 1, Device: eff.Device, Room: eff.Room,
+		Channel: eff.Channel, Value: eff.State, RuleID: rule.ID, Kind: KindState})
+	for _, d := range eff.Env {
+		base, shift := channelBaseline(d.Channel)
+		k := envKeyOf(eff.Room, d.Channel)
+		if _, ok := s.envLevel[k]; !ok {
+			s.envLevel[k] = base
+		}
+		s.envLevel[k] += float64(d.Sign) * shift
+	}
+}
+
+// conditionHolds evaluates a trigger against current state.
+func (s *Simulator) conditionHolds(c rules.Condition) bool {
+	switch c.Channel {
+	case rules.ChanTime:
+		return s.clockState == c.State
+	case rules.ChanVoice:
+		return false // voice commands arrive only as injected happenings
+	}
+	if numericChannel(c.Channel) {
+		level := s.level(c.Room, c.Channel)
+		base, shift := channelBaseline(c.Channel)
+		switch rules.StateSign(c.State) {
+		case 1:
+			return level > base+shift/2
+		case -1:
+			return level < base-shift/2
+		}
+		return false
+	}
+	key := Instance{Device: c.Device, Room: c.Room}.key()
+	return s.deviceState[key] == c.State
+}
+
+// level reads an environment level, initialising to baseline.
+func (s *Simulator) level(room string, ch rules.Channel) float64 {
+	k := envKeyOf(room, ch)
+	if v, ok := s.envLevel[k]; ok {
+		return v
+	}
+	base, _ := channelBaseline(ch)
+	s.envLevel[k] = base
+	return base
+}
+
+// logicalSensorState reports a binary sensor's current pole.
+func (s *Simulator) logicalSensorState(inst Instance, ch rules.Channel) string {
+	if v, ok := s.deviceState[inst.key()]; ok && v != "" {
+		return v
+	}
+	return negativePole(ch)
+}
+
+// sensorInstances enumerates the sensing instances referenced by the rules.
+func (s *Simulator) sensorInstances() []Instance {
+	seen := map[string]bool{}
+	var out []Instance
+	for _, r := range s.Rules {
+		t := r.Trigger
+		if t.Channel == rules.ChanTime || t.Channel == rules.ChanVoice {
+			continue
+		}
+		inst := Instance{Device: t.Device, Room: t.Room}
+		if !seen[inst.key()] {
+			seen[inst.key()] = true
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// senseChannelOf maps a device name to its sensing channel via the catalog
+// (device-state instances report their own channel through the trigger).
+func (s *Simulator) senseChannelOf(device string) rules.Channel {
+	if d, ok := rules.CatalogByName()[device]; ok && d.IsSensor() {
+		return d.SenseChannel
+	}
+	// Actuator state triggers: report power-ish state; find via rules.
+	for _, r := range s.Rules {
+		if r.Trigger.Device == device {
+			return r.Trigger.Channel
+		}
+	}
+	return rules.ChanPower
+}
+
+// numericChannel reports whether a channel logs numeric readings.
+func numericChannel(ch rules.Channel) bool {
+	switch ch {
+	case rules.ChanTemperature, rules.ChanHumidity, rules.ChanIlluminance,
+		rules.ChanSound, rules.ChanEnergy:
+		return true
+	}
+	return false
+}
+
+// positivePole / negativePole give the logical state names of a channel.
+func positivePole(ch rules.Channel) string {
+	switch ch {
+	case rules.ChanMotion, rules.ChanSmoke, rules.ChanCO:
+		return "detected"
+	case rules.ChanContact:
+		return "open"
+	case rules.ChanLeak:
+		return "wet"
+	case rules.ChanPresence:
+		return "home"
+	case rules.ChanLockState:
+		return "locked"
+	case rules.ChanButton:
+		return "pressed"
+	default:
+		return "high"
+	}
+}
+
+func negativePole(ch rules.Channel) string {
+	switch ch {
+	case rules.ChanMotion, rules.ChanSmoke, rules.ChanCO:
+		return "clear"
+	case rules.ChanContact:
+		return "closed"
+	case rules.ChanLeak:
+		return "dry"
+	case rules.ChanPresence:
+		return "away"
+	case rules.ChanLockState:
+		return "unlocked"
+	default:
+		return "low"
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fexiot/internal/datasets"
+)
+
+// tinySetup keeps experiment smoke tests fast.
+func tinySetup() Setup {
+	s := DefaultSetup()
+	s.Scale = datasets.Scale{
+		Name:             "tiny",
+		IFTTTLabeled:     90,
+		IFTTTVulnerable:  22,
+		IFTTTUnlabeled:   40,
+		HeteroLabeled:    90,
+		HeteroVulnerable: 27,
+		HeteroUnlabeled:  40,
+		OnlineGraphs:     16,
+		Homes:            25,
+		RulesPerHome:     20,
+		WordDim:          24,
+		SentenceDim:      32,
+	}
+	s.Rounds = 2
+	s.PairsPerRound = 30
+	s.Hidden = 10
+	s.EmbedDim = 6
+	return s
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig3", "fig4", "fig5", "fig6", "table2",
+		"fig7", "fig8", "fig9", "table3", "ablation-layerwise",
+		"ablation-contrastive", "ablation-beam", "ablation-mad"}
+	reg := Registry()
+	for _, id := range want {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if _, err := Run("nope", tinySetup()); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestTableISmoke(t *testing.T) {
+	out := TableI(tinySetup()).String()
+	if !strings.Contains(out, "IFTTT") || !strings.Contains(out, "Hetero") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if !strings.Contains(out, "90") {
+		t.Fatalf("labeled count missing:\n%s", out)
+	}
+}
+
+func TestFig3Smoke(t *testing.T) {
+	s := tinySetup()
+	out := FigureIII(s).String()
+	for _, name := range []string{"MLP", "RandomForest", "KNN", "GradientBoost"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("classifier %s missing:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	s := tinySetup()
+	out := FigureIV(s, "GIN", []float64{1}).String()
+	for _, name := range []string{"FexIoT", "GCFL+", "FMTL", "FedAvg", "Client"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("algorithm %s missing:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	s := tinySetup()
+	out := FigureVII(s, []int{4}).String()
+	if !strings.Contains(out, "saving") {
+		t.Fatalf("saving column missing:\n%s", out)
+	}
+}
+
+func TestTableIISmoke(t *testing.T) {
+	s := tinySetup()
+	out := TableII(s).String()
+	for _, name := range []string{"HAWatcher", "DeepLog", "IsolationForest", "FexIoT"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("system %s missing:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	s := tinySetup()
+	out := FigureIX(s, 3).String()
+	for _, name := range []string{"FexIoT", "SubgraphX", "MCTS_GNN"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("method %s missing:\n%s", name, out)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tb.Add("x", "y")
+	out := tb.String()
+	if !strings.Contains(out, "=== T ===") || !strings.Contains(out, "x") {
+		t.Fatalf("bad rendering:\n%s", out)
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	s := tinySetup()
+	out := FigureV(s, []int{4}).String()
+	if !strings.Contains(out, "IFTTT") || !strings.Contains(out, "Median") {
+		t.Fatalf("fig5 output malformed:\n%s", out)
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	s := tinySetup()
+	out := FigureVIII(s)
+	if !strings.Contains(out, "Fig. 8") {
+		t.Fatalf("fig8 output malformed:\n%s", out)
+	}
+}
+
+func TestTableIIISmoke(t *testing.T) {
+	s := tinySetup()
+	out := TableIII(s).String()
+	if !strings.Contains(out, "Model Size") || !strings.Contains(out, "IFTTT") {
+		t.Fatalf("table3 output malformed:\n%s", out)
+	}
+}
+
+func TestAblationSmokes(t *testing.T) {
+	s := tinySetup()
+	if out := AblationBeam(s).String(); !strings.Contains(out, "Beam") {
+		t.Fatalf("beam ablation malformed:\n%s", out)
+	}
+	if out := AblationMAD(s).String(); !strings.Contains(out, "T_M") {
+		t.Fatalf("MAD ablation malformed:\n%s", out)
+	}
+	if out := AblationContrastive(s).String(); !strings.Contains(out, "contrastive") {
+		t.Fatalf("contrastive ablation malformed:\n%s", out)
+	}
+}

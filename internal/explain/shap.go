@@ -1,0 +1,196 @@
+// Package explain implements the vulnerability explanation layer of §III-C:
+// kernel SHAP over graph substructures (Eq. 5-6), the SHAP-guided Monte
+// Carlo beam search of Algorithm 2, the SubgraphX and MCTS_GNN comparison
+// methods of Fig. 8-9, and the fidelity/sparsity metrics used to score
+// explanations quantitatively.
+package explain
+
+import (
+	"fexiot/internal/graph"
+	"fexiot/internal/mat"
+	"fexiot/internal/rng"
+)
+
+// ScoreFunc is the detection model h(·): it maps an interaction graph to a
+// vulnerability probability. The explainer treats it as a black box.
+type ScoreFunc func(g *graph.Graph) float64
+
+// maskGraph returns the induced subgraph on the kept node indices; masking
+// a node removes it and its edges, the standard graph-explanation ablation.
+func maskGraph(g *graph.Graph, keep []int) *graph.Graph {
+	return g.InducedSubgraph(keep)
+}
+
+// KernelSHAP approximates the SHAP value (Eq. 5) of treating the candidate
+// subgraph as one player and the remaining nodes as singleton players. It
+// samples K coalitions z′ of the other players, evaluates
+// h(subgraph ∪ coalition), and solves the weighted linear regression of
+// Eq. (6) whose first coefficient is the subgraph's SHAP value φ.
+func KernelSHAP(h ScoreFunc, g *graph.Graph, sub []int, k int, seed int64) float64 {
+	n := g.N()
+	inSub := make([]bool, n)
+	for _, i := range sub {
+		inSub[i] = true
+	}
+	var others []int
+	for i := 0; i < n; i++ {
+		if !inSub[i] {
+			others = append(others, i)
+		}
+	}
+	// Players: index 0 = the subgraph, 1..m = singleton other nodes.
+	m := len(others) + 1
+	if m == 1 {
+		// No other players: φ is the full prediction minus the empty value.
+		return h(g) - h(maskGraph(g, nil))
+	}
+	r := rng.New(seed)
+
+	var rows [][]float64 // z′ indicator vectors (length m)
+	var ys []float64     // h(T_x⁻¹(z′))
+	var ws []float64     // Shapley kernel weights
+
+	evalCoalition := func(mask []bool) {
+		var keep []int
+		if mask[0] {
+			keep = append(keep, sub...)
+		}
+		for j, node := range others {
+			if mask[j+1] {
+				keep = append(keep, node)
+			}
+		}
+		size := 0
+		for _, b := range mask {
+			if b {
+				size++
+			}
+		}
+		// Shapley kernel: C = (M−1) / (C(M,|z|)·|z|·(M−|z|)); the empty and
+		// full coalitions get large finite weights (they pin the intercept
+		// and total).
+		var w float64
+		if size == 0 || size == m {
+			w = 1e6
+		} else {
+			w = float64(m-1) / (binom(m, size) * float64(size) * float64(m-size))
+		}
+		row := make([]float64, m+1)
+		row[0] = 1 // intercept
+		for j, b := range mask {
+			if b {
+				row[j+1] = 1
+			}
+		}
+		rows = append(rows, row)
+		ys = append(ys, h(maskGraph(g, keep)))
+		ws = append(ws, w)
+	}
+
+	// Always include the empty and full coalitions, then K −2 random ones.
+	empty := make([]bool, m)
+	full := make([]bool, m)
+	for i := range full {
+		full[i] = true
+	}
+	evalCoalition(empty)
+	evalCoalition(full)
+	for s := 0; s < k-2; s++ {
+		mask := make([]bool, m)
+		// Sample coalition sizes ~ the Shapley kernel by drawing a size
+		// uniformly then members uniformly; the regression weights correct
+		// the residual bias.
+		size := 1 + r.Intn(m-1)
+		for _, idx := range r.SampleWithoutReplacement(m, size) {
+			mask[idx] = true
+		}
+		evalCoalition(mask)
+	}
+
+	x := mat.NewDense(len(rows), m+1)
+	for i, row := range rows {
+		x.SetRow(i, row)
+	}
+	coef, err := mat.WeightedLeastSquares(x, ys, ws, 1e-6)
+	if err != nil {
+		return 0
+	}
+	// coef[1] is the subgraph player's φ.
+	return coef[1]
+}
+
+// binom computes C(n, k) as float64 (n ≤ ~60 in interaction graphs).
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out = out * float64(n-i) / float64(i+1)
+	}
+	return out
+}
+
+// ShapleyValue is the sampling estimator SubgraphX uses: the average
+// marginal contribution of the subgraph over random permutations of the
+// other players, assuming player independence (the assumption the paper
+// criticises).
+func ShapleyValue(h ScoreFunc, g *graph.Graph, sub []int, samples int, seed int64) float64 {
+	n := g.N()
+	inSub := make([]bool, n)
+	for _, i := range sub {
+		inSub[i] = true
+	}
+	var others []int
+	for i := 0; i < n; i++ {
+		if !inSub[i] {
+			others = append(others, i)
+		}
+	}
+	if len(others) == 0 {
+		return h(g) - h(maskGraph(g, nil))
+	}
+	r := rng.New(seed)
+	var total float64
+	for s := 0; s < samples; s++ {
+		perm := r.Perm(len(others))
+		cut := r.Intn(len(others) + 1)
+		var keep []int
+		for _, idx := range perm[:cut] {
+			keep = append(keep, others[idx])
+		}
+		without := h(maskGraph(g, keep))
+		with := h(maskGraph(g, append(append([]int(nil), keep...), sub...)))
+		total += with - without
+	}
+	return total / float64(samples)
+}
+
+// Fidelity is the drop in prediction when the explanation subgraph is
+// removed from the graph: h(G) − h(G \ G_sub). Higher means the subgraph
+// really carries the prediction (Fig. 9, following Pope et al.).
+func Fidelity(h ScoreFunc, g *graph.Graph, sub []int) float64 {
+	inSub := make([]bool, g.N())
+	for _, i := range sub {
+		inSub[i] = true
+	}
+	var rest []int
+	for i := 0; i < g.N(); i++ {
+		if !inSub[i] {
+			rest = append(rest, i)
+		}
+	}
+	return h(g) - h(maskGraph(g, rest))
+}
+
+// Sparsity is the fraction of the graph NOT selected by the explanation:
+// 1 − |G_sub|/|G| (Fig. 9). Concise explanations score high.
+func Sparsity(g *graph.Graph, sub []int) float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 1 - float64(len(sub))/float64(g.N())
+}

@@ -1,0 +1,130 @@
+package fed
+
+import (
+	"fexiot/internal/graph"
+	"fexiot/internal/rng"
+)
+
+// DirichletSplit partitions graphs across n clients following the paper's
+// non-i.i.d. protocol: for each data class, per-client proportions are
+// drawn from Dirichlet(α,…,α) and the class's samples are dealt out
+// accordingly. Small α concentrates each class on few clients (highly
+// non-i.i.d.); large α approaches a uniform split. classOf assigns each
+// graph to a class (the evaluation uses label × source-archetype classes so
+// both label skew and distribution skew arise).
+func DirichletSplit(graphs []*graph.Graph, n int, alpha float64,
+	classOf func(*graph.Graph) int, seed int64) [][]*graph.Graph {
+	if n <= 0 {
+		panic("fed: DirichletSplit needs n > 0")
+	}
+	r := rng.New(seed)
+	byClass := map[int][]*graph.Graph{}
+	for _, g := range graphs {
+		k := classOf(g)
+		byClass[k] = append(byClass[k], g)
+	}
+	out := make([][]*graph.Graph, n)
+	// Deterministic class order.
+	var classes []int
+	for k := range byClass {
+		classes = append(classes, k)
+	}
+	sortInts(classes)
+	for _, k := range classes {
+		members := byClass[k]
+		props := r.Dirichlet(n, alpha)
+		// Shuffle members, then deal by cumulative proportion.
+		r.Shuffle(len(members), func(i, j int) {
+			members[i], members[j] = members[j], members[i]
+		})
+		start := 0
+		cum := 0.0
+		for c := 0; c < n; c++ {
+			cum += props[c]
+			end := int(cum*float64(len(members)) + 0.5)
+			if c == n-1 {
+				end = len(members)
+			}
+			if end > len(members) {
+				end = len(members)
+			}
+			if end > start {
+				out[c] = append(out[c], members[start:end]...)
+			}
+			start = end
+		}
+	}
+	// Every client needs at least a couple of graphs to train at all.
+	donateTo(out, r)
+	// Classes were dealt sequentially; shuffle within each client so local
+	// train/test splits are class-representative.
+	for c := range out {
+		members := out[c]
+		r.Shuffle(len(members), func(i, j int) {
+			members[i], members[j] = members[j], members[i]
+		})
+	}
+	return out
+}
+
+// donateTo tops up empty or near-empty clients from the largest ones.
+func donateTo(out [][]*graph.Graph, r *rng.RNG) {
+	const minGraphs = 4
+	for c := range out {
+		for len(out[c]) < minGraphs {
+			// Find the largest client.
+			big := 0
+			for i := range out {
+				if len(out[i]) > len(out[big]) {
+					big = i
+				}
+			}
+			if len(out[big]) <= minGraphs {
+				return // nothing left to donate
+			}
+			last := len(out[big]) - 1
+			out[c] = append(out[c], out[big][last])
+			out[big] = out[big][:last]
+		}
+	}
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// LabelArchetypeClass builds a classOf function keyed on (label, archetype
+// tag) pairs. Graph IDs carry no archetype, so the class derives from the
+// rules' ID prefixes assigned by the multi-home pool generator; graphs
+// whose rules come from unknown sources fall back to label-only classes.
+func LabelArchetypeClass(numArchetypes int) func(*graph.Graph) int {
+	return func(g *graph.Graph) int {
+		label := 0
+		if g.Label {
+			label = 1
+		}
+		arch := 0
+		if g.N() > 0 && g.Nodes[0].Rule != nil {
+			arch = homeArchetype(g.Nodes[0].Rule.ID, numArchetypes)
+		}
+		return label*numArchetypes + arch
+	}
+}
+
+// homeArchetype recovers the archetype index from a rule id of the form
+// "h<home>-<n>" produced by fusion.MultiHomePool (homes cycle through the
+// archetypes).
+func homeArchetype(id string, numArchetypes int) int {
+	if len(id) < 2 || id[0] != 'h' {
+		return 0
+	}
+	n := 0
+	for i := 1; i < len(id) && id[i] >= '0' && id[i] <= '9'; i++ {
+		n = n*10 + int(id[i]-'0')
+	}
+	return n % numArchetypes
+}

@@ -1,0 +1,119 @@
+package fed
+
+import (
+	"fexiot/internal/mat"
+	"fexiot/internal/rng"
+)
+
+// The paper's §VI sketches two hardening directions for FexIoT: adding
+// differential privacy to the model updates and defending the aggregation
+// against Sybil attackers that control multiple clients. Both are
+// implemented here as composable options.
+
+// DPConfig is client-side (ε,δ)-style update privatisation in the DP-FedAvg
+// mould: the local update is clipped to ClipNorm and perturbed with
+// Gaussian noise of standard deviation NoiseSigma·ClipNorm before it ever
+// leaves the client.
+type DPConfig struct {
+	ClipNorm   float64
+	NoiseSigma float64
+	Seed       int64
+}
+
+// Privatize applies clipping and noising to the client's pending update in
+// place: the model weights become prev + clip(ΔW) + noise. Call it after
+// LocalTrain and before the server reads the weights.
+func (c *Client) Privatize(cfg DPConfig) {
+	if c.prev == nil || cfg.ClipNorm <= 0 {
+		return
+	}
+	update := c.Model.Params().Sub(c.prev)
+	norm := update.Norm()
+	scale := 1.0
+	if norm > cfg.ClipNorm {
+		scale = cfg.ClipNorm / norm
+	}
+	r := rng.New(cfg.Seed*1000003 + int64(c.ID))
+	sigma := cfg.NoiseSigma * cfg.ClipNorm
+	// W ← prev + scale·ΔW + N(0, σ²)
+	private := c.prev.Clone()
+	for _, name := range private.Names() {
+		p := private.Get(name)
+		u := update.Get(name)
+		pd, ud := p.Data(), u.Data()
+		for i := range pd {
+			pd[i] += scale*ud[i] + r.NormFloat64()*sigma
+		}
+	}
+	c.Model.Params().CopyFrom(private)
+}
+
+// PrivateAlgorithm wraps any federated algorithm with client-side DP: after
+// every local training round, each client privatises its update before the
+// wrapped algorithm's server logic observes the weights.
+type PrivateAlgorithm struct {
+	Inner Algorithm
+	DP    DPConfig
+}
+
+// Name identifies the wrapped algorithm.
+func (p *PrivateAlgorithm) Name() string { return p.Inner.Name() + "+DP" }
+
+// Run interposes privatisation by wrapping each client's training data in a
+// hook-aware shim. The inner algorithm drives the schedule; the shim adds
+// clip+noise after every LocalTrain.
+func (p *PrivateAlgorithm) Run(clients []*Client, cfg Config) *Result {
+	for _, c := range clients {
+		c.dp = &p.DP
+	}
+	defer func() {
+		for _, c := range clients {
+			c.dp = nil
+		}
+	}()
+	return p.Inner.Run(clients, cfg)
+}
+
+// Privatized reports whether a DP hook is currently installed (testing
+// hook).
+func (c *Client) Privatized() bool { return c.dp != nil }
+
+// SybilFilter re-weights aggregation against Sybil coordination (Fung et
+// al., RAID 2020): clients whose update directions are near-duplicates of
+// each other — the signature of one attacker echoing itself from many
+// identities — share their aggregation mass instead of multiplying it.
+// weights are the data-size weights; the returned slice is renormalised.
+func SybilFilter(clients []*Client, idx []int, weights []float64, simThreshold float64) []float64 {
+	if len(idx) != len(weights) {
+		panic("fed: SybilFilter length mismatch")
+	}
+	updates := make([][]float64, len(idx))
+	for k, i := range idx {
+		updates[k] = clients[i].Update().Flatten()
+	}
+	out := append([]float64(nil), weights...)
+	// Count near-duplicate groups: each member of a duplicate group of size
+	// g keeps 1/g of its weight.
+	for k := range idx {
+		dupes := 1
+		for j := range idx {
+			if j == k {
+				continue
+			}
+			if mat.CosineSimilarity(updates[k], updates[j]) > simThreshold {
+				dupes++
+			}
+		}
+		out[k] /= float64(dupes)
+	}
+	var total float64
+	for _, w := range out {
+		total += w
+	}
+	if total > 0 {
+		for k := range out {
+			out[k] /= total
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+// Package fedproto implements a real wire protocol for FexIoT federated
+// training: clients connect to a server over TCP, exchange gob-encoded
+// layer payloads, and the server runs the same layer-wise clustering
+// aggregation as the in-process simulator. The communication costs of
+// Fig. 7 can therefore be measured on actual serialized bytes rather than
+// estimated parameter counts.
+package fedproto
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"fexiot/internal/autodiff"
+	"fexiot/internal/mat"
+)
+
+// MsgKind tags protocol messages.
+type MsgKind int
+
+// Protocol message kinds.
+const (
+	MsgHello  MsgKind = iota // client → server: join with dataset size
+	MsgUpdate                // client → server: layer payloads after local training
+	MsgModel                 // server → client: aggregated layer payloads
+	MsgDone                  // server → client: training finished
+)
+
+// LayerPayload carries one layer's parameters on the wire.
+type LayerPayload struct {
+	Layer  int
+	Names  []string
+	Shapes [][2]int
+	Data   [][]float64
+	// UpdateNorm is ‖ΔW_l‖ of the client's last local round, used by the
+	// server's clustering gate without shipping the previous weights.
+	UpdateNorm float64
+}
+
+// Message is the single wire envelope.
+type Message struct {
+	Kind     MsgKind
+	ClientID int
+	DataSize int // |G_c| for FedAvg weighting (MsgHello)
+	Round    int
+	Final    bool           // set on the last MsgModel of a session
+	Layers   []LayerPayload // MsgUpdate / MsgModel
+}
+
+// EncodeLayers extracts the given layers of a ParamSet into payloads.
+func EncodeLayers(p *autodiff.ParamSet, layers []int, updates map[int]float64) []LayerPayload {
+	var out []LayerPayload
+	for _, l := range layers {
+		pl := LayerPayload{Layer: l, UpdateNorm: updates[l]}
+		for _, name := range p.LayerNames(l) {
+			m := p.Get(name)
+			r, c := m.Dims()
+			pl.Names = append(pl.Names, name)
+			pl.Shapes = append(pl.Shapes, [2]int{r, c})
+			pl.Data = append(pl.Data, append([]float64(nil), m.Data()...))
+		}
+		out = append(out, pl)
+	}
+	return out
+}
+
+// ApplyLayers writes payloads back into a ParamSet.
+func ApplyLayers(p *autodiff.ParamSet, layers []LayerPayload) error {
+	for _, pl := range layers {
+		for i, name := range pl.Names {
+			m := p.Get(name)
+			r, c := m.Dims()
+			if pl.Shapes[i] != [2]int{r, c} {
+				return fmt.Errorf("fedproto: %s shape %v want %dx%d",
+					name, pl.Shapes[i], r, c)
+			}
+			copy(m.Data(), pl.Data[i])
+		}
+	}
+	return nil
+}
+
+// countingConn wraps a connection and tallies transferred bytes.
+type countingConn struct {
+	net.Conn
+	read, written *int64
+	mu            *sync.Mutex
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	*c.read += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	*c.written += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// Conn is a counted, gob-framed protocol connection.
+type Conn struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+	raw net.Conn
+
+	mu                sync.Mutex
+	inBytes, outBytes int64
+}
+
+// Wrap builds a protocol connection over a raw socket.
+func Wrap(c net.Conn) *Conn {
+	pc := &Conn{raw: c}
+	counted := countingConn{Conn: c, read: &pc.inBytes, written: &pc.outBytes, mu: &pc.mu}
+	pc.enc = gob.NewEncoder(counted)
+	pc.dec = gob.NewDecoder(counted)
+	return pc
+}
+
+// Send writes one message.
+func (c *Conn) Send(m *Message) error { return c.enc.Encode(m) }
+
+// Recv reads one message.
+func (c *Conn) Recv() (*Message, error) {
+	var m Message
+	if err := c.dec.Decode(&m); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Close closes the underlying socket.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// Bytes reports (received, sent) byte counts.
+func (c *Conn) Bytes() (in, out int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inBytes, c.outBytes
+}
+
+// LayerNorms computes per-layer update norms between two snapshots.
+func LayerNorms(before, after *autodiff.ParamSet) map[int]float64 {
+	out := map[int]float64{}
+	diff := after.Sub(before)
+	for l := 0; l < after.NumLayers(); l++ {
+		out[l] = mat.Norm2(diff.FlattenLayer(l))
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package fedproto
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"fexiot/internal/autodiff"
+	"fexiot/internal/embed"
+	"fexiot/internal/fusion"
+	"fexiot/internal/gnn"
+	"fexiot/internal/graph"
+	"fexiot/internal/mat"
+)
+
+func TestEncodeApplyRoundTrip(t *testing.T) {
+	m := gnn.NewGIN(16, 8, 4, 1)
+	p := m.Params()
+	layers := make([]int, p.NumLayers())
+	for i := range layers {
+		layers[i] = i
+	}
+	payloads := EncodeLayers(p, layers, map[int]float64{0: 1.5})
+	if len(payloads) != p.NumLayers() {
+		t.Fatalf("payload count %d", len(payloads))
+	}
+	if payloads[0].UpdateNorm != 1.5 {
+		t.Fatal("update norm lost")
+	}
+	// Apply into a fresh model of the same shape.
+	m2 := gnn.NewGIN(16, 8, 4, 99)
+	if err := ApplyLayers(m2.Params(), payloads); err != nil {
+		t.Fatal(err)
+	}
+	if mat.Norm2(m2.Params().Sub(p).Flatten()) != 0 {
+		t.Fatal("round trip changed weights")
+	}
+	// Shape mismatch is rejected.
+	m3 := gnn.NewGIN(16, 12, 4, 1)
+	if err := ApplyLayers(m3.Params(), payloads); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestLayerNorms(t *testing.T) {
+	m := gnn.NewGIN(16, 8, 4, 1)
+	before := m.Params().Clone()
+	m.Params().Get("gin0.w1").Add(0, 0, 2)
+	norms := LayerNorms(before, m.Params())
+	if norms[0] != 2 {
+		t.Fatalf("layer 0 norm %v want 2", norms[0])
+	}
+	for l := 1; l < m.Params().NumLayers(); l++ {
+		if norms[l] != 0 {
+			t.Fatalf("layer %d norm %v want 0", l, norms[l])
+		}
+	}
+}
+
+// TestEndToEndTCP runs a real server with three clients over loopback and
+// checks that training synchronises weights layer-wise and that bytes are
+// accounted.
+func TestEndToEndTCP(t *testing.T) {
+	enc := embed.NewEncoder(16, 24)
+	pool := fusion.MultiHomePool(3, 20, 15, nil)
+	b := fusion.NewBuilder(5, enc)
+	// The Builder and its Encoder memoise internally and are not safe for
+	// concurrent use; build every client's dataset up front.
+	mkData := func(n int) []*graph.Graph {
+		out := make([]*graph.Graph, n)
+		for i := range out {
+			out[i] = b.OfflineSized(pool)
+		}
+		return out
+	}
+	datasets := make([][]*graph.Graph, 3)
+	for i := range datasets {
+		datasets[i] = mkData(20)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	dim := fusion.WordFeatureDim(enc)
+	base := gnn.NewGIN(dim, 8, 4, 100)
+	const clients = 3
+	const rounds = 2
+
+	srv := NewServer(ServerConfig{
+		Addr:      addr,
+		Clients:   clients,
+		Rounds:    rounds,
+		Eps1:      0.4,
+		Eps2:      0.95,
+		NumLayers: base.Params().NumLayers(),
+	})
+	serverBytes := make(chan int64, 1)
+	serverErr := make(chan error, 1)
+	go func() {
+		total, err := srv.Run()
+		serverBytes <- total
+		serverErr <- err
+	}()
+
+	models := make([]gnn.Model, clients)
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			m := base.Fresh(int64(id))
+			m.Params().CopyFrom(base.Params())
+			models[id] = m
+			data := datasets[id]
+			opt := autodiff.NewAdam(0.005)
+			cfg := gnn.DefaultTrainConfig(int64(id))
+			cfg.PairsPerEpoch = 10
+
+			var conn *Conn
+			for try := 0; try < 50; try++ {
+				raw, err := net.Dial("tcp", addr)
+				if err == nil {
+					conn = Wrap(raw)
+					break
+				}
+			}
+			if conn == nil {
+				errs[id] = net.ErrClosed
+				return
+			}
+			defer conn.Close()
+			errs[id] = RunClientLoop(conn, id, len(data), m.Params(),
+				func(round int) map[int]float64 {
+					before := m.Params().Clone()
+					cfg.Seed = int64(id*100 + round)
+					gnn.TrainContrastive(m, data, cfg, opt)
+					return LayerNorms(before, m.Params())
+				})
+		}(id)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", id, err)
+		}
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	total := <-serverBytes
+	if total <= 0 {
+		t.Fatal("no bytes accounted")
+	}
+
+	// After the final aggregated model is installed, clients in the same
+	// cluster share weights; with these thresholds most runs keep one
+	// cluster, so all three models should agree on at least layer 0.
+	l0 := models[0].Params().FlattenLayer(0)
+	agree := 0
+	for _, m := range models[1:] {
+		other := m.Params().FlattenLayer(0)
+		same := true
+		for i := range l0 {
+			if l0[i] != other[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			agree++
+		}
+	}
+	if agree == 0 {
+		t.Fatal("no client shares layer-0 weights with client 0 after aggregation")
+	}
+}

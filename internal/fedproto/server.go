@@ -1,0 +1,324 @@
+package fedproto
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"fexiot/internal/autodiff"
+	"fexiot/internal/mat"
+)
+
+// ServerConfig controls the networked aggregation server.
+type ServerConfig struct {
+	Addr      string
+	Clients   int // expected client count
+	Rounds    int
+	Eps1      float64 // Eq. (3) gate, relative interpretation
+	Eps2      float64
+	NumLayers int
+}
+
+// Server aggregates client models over TCP using the layer-wise clustering
+// of Algorithm 1.
+type Server struct {
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	conns    []*Conn
+	sizes    []int
+	payloads [][]LayerPayload // per client, per layer
+}
+
+// NewServer creates a server.
+func NewServer(cfg ServerConfig) *Server { return &Server{cfg: cfg} }
+
+// Run listens, accepts the expected number of clients, coordinates the
+// rounds and returns total transferred bytes (both directions, all
+// clients).
+func (s *Server) Run() (int64, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return 0, err
+	}
+	defer ln.Close()
+	for len(s.conns) < s.cfg.Clients {
+		raw, err := ln.Accept()
+		if err != nil {
+			return 0, err
+		}
+		c := Wrap(raw)
+		hello, err := c.Recv()
+		if err != nil || hello.Kind != MsgHello {
+			raw.Close()
+			continue
+		}
+		s.conns = append(s.conns, c)
+		s.sizes = append(s.sizes, hello.DataSize)
+	}
+
+	for round := 0; round < s.cfg.Rounds; round++ {
+		// Collect updates from every client.
+		s.payloads = make([][]LayerPayload, len(s.conns))
+		var wg sync.WaitGroup
+		errs := make([]error, len(s.conns))
+		for i, c := range s.conns {
+			wg.Add(1)
+			go func(i int, c *Conn) {
+				defer wg.Done()
+				m, err := c.Recv()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if m.Kind != MsgUpdate {
+					errs[i] = fmt.Errorf("fedproto: unexpected message kind %d", m.Kind)
+					return
+				}
+				s.payloads[i] = m.Layers
+			}(i, c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return s.totalBytes(), err
+			}
+		}
+
+		// Layer-wise clustering aggregation, mirroring fed.FexIoT.
+		replies := make([][]LayerPayload, len(s.conns))
+		s.aggregate(0, indexRange(len(s.conns)), replies)
+
+		final := round == s.cfg.Rounds-1
+		for i, c := range s.conns {
+			msg := &Message{Kind: MsgModel, Round: round, Final: final,
+				Layers: replies[i]}
+			if err := c.Send(msg); err != nil {
+				return s.totalBytes(), err
+			}
+		}
+	}
+	for _, c := range s.conns {
+		c.Close()
+	}
+	return s.totalBytes(), nil
+}
+
+// aggregate recursively clusters and averages one layer, then descends.
+func (s *Server) aggregate(layer int, cluster []int, replies [][]LayerPayload) {
+	if layer >= s.cfg.NumLayers {
+		return
+	}
+	// Gate: relative Eq. (3) over the clients' reported update norms and
+	// the mean payload direction.
+	split := false
+	if len(cluster) >= 2 {
+		var norms []float64
+		var mean []float64
+		w := s.weights(cluster)
+		for k, i := range cluster {
+			flat := flatten(s.payloads[i][layer])
+			norms = append(norms, s.payloads[i][layer].UpdateNorm)
+			if mean == nil {
+				mean = make([]float64, len(flat))
+			}
+			mat.Axpy(mean, flat, w[k])
+			_ = k
+		}
+		avg := 0.0
+		maxN := 0.0
+		for _, n := range norms {
+			avg += n
+			if n > maxN {
+				maxN = n
+			}
+		}
+		avg /= float64(len(norms))
+		// Weight-space dispersion: mean cosine distance to the average.
+		if avg > 0 {
+			split = dispersion(s, cluster, layer) > 0 &&
+				maxN > s.cfg.Eps2*avg && meanUpdateNorm(s, cluster, layer) < s.cfg.Eps1*avg
+		}
+	}
+	if split {
+		c1, c2 := s.binaryCluster(cluster, layer)
+		if len(c2) > 0 {
+			s.averageInto(c1, layer, replies)
+			s.averageInto(c2, layer, replies)
+			s.aggregate(layer+1, c1, replies)
+			s.aggregate(layer+1, c2, replies)
+			return
+		}
+	}
+	s.averageInto(cluster, layer, replies)
+	s.aggregate(layer+1, cluster, replies)
+}
+
+// meanUpdateNorm approximates ‖Σ w ΔW‖ from reported norms and weight
+// dispersion; without previous weights on the server, the dispersion of the
+// current weights stands in for update-direction disagreement.
+func meanUpdateNorm(s *Server, cluster []int, layer int) float64 {
+	// Served conservatively: scale the average reported norm by the weight
+	// agreement (1 − dispersion).
+	var avg float64
+	for _, i := range cluster {
+		avg += s.payloads[i][layer].UpdateNorm
+	}
+	avg /= float64(len(cluster))
+	return avg * (1 - dispersion(s, cluster, layer))
+}
+
+// dispersion is the mean (1 − cosine) between members' layer weights and
+// the cluster mean.
+func dispersion(s *Server, cluster []int, layer int) float64 {
+	var mean []float64
+	flats := make([][]float64, len(cluster))
+	for k, i := range cluster {
+		flats[k] = flatten(s.payloads[i][layer])
+		if mean == nil {
+			mean = make([]float64, len(flats[k]))
+		}
+		mat.Axpy(mean, flats[k], 1/float64(len(cluster)))
+	}
+	var d float64
+	for _, f := range flats {
+		d += 1 - mat.CosineSimilarity(f, mean)
+	}
+	return d / float64(len(cluster))
+}
+
+// binaryCluster splits by cosine similarity of layer weights.
+func (s *Server) binaryCluster(cluster []int, layer int) ([]int, []int) {
+	flats := map[int][]float64{}
+	for _, i := range cluster {
+		flats[i] = flatten(s.payloads[i][layer])
+	}
+	seedA, seedB := cluster[0], cluster[1]
+	worst := 2.0
+	for x := 0; x < len(cluster); x++ {
+		for y := x + 1; y < len(cluster); y++ {
+			sim := mat.CosineSimilarity(flats[cluster[x]], flats[cluster[y]])
+			if sim < worst {
+				worst = sim
+				seedA, seedB = cluster[x], cluster[y]
+			}
+		}
+	}
+	var a, b []int
+	for _, i := range cluster {
+		if mat.CosineSimilarity(flats[i], flats[seedA]) >=
+			mat.CosineSimilarity(flats[i], flats[seedB]) {
+			a = append(a, i)
+		} else {
+			b = append(b, i)
+		}
+	}
+	// Match the in-process semantics: singleton clusters fragment the
+	// federation, so keep the cluster whole instead.
+	if len(a) < 2 || len(b) < 2 {
+		return cluster, nil
+	}
+	return a, b
+}
+
+// averageInto writes the weighted layer mean into every member's reply.
+func (s *Server) averageInto(cluster []int, layer int, replies [][]LayerPayload) {
+	if len(cluster) == 0 {
+		return
+	}
+	w := s.weights(cluster)
+	tmpl := s.payloads[cluster[0]][layer]
+	avg := LayerPayload{Layer: tmpl.Layer, Names: tmpl.Names, Shapes: tmpl.Shapes}
+	for di := range tmpl.Data {
+		sum := make([]float64, len(tmpl.Data[di]))
+		for k, i := range cluster {
+			mat.Axpy(sum, s.payloads[i][layer].Data[di], w[k])
+		}
+		avg.Data = append(avg.Data, sum)
+	}
+	for _, i := range cluster {
+		replies[i] = append(replies[i], avg)
+	}
+}
+
+func (s *Server) weights(cluster []int) []float64 {
+	total := 0
+	for _, i := range cluster {
+		total += s.sizes[i]
+	}
+	w := make([]float64, len(cluster))
+	for k, i := range cluster {
+		if total == 0 {
+			w[k] = 1 / float64(len(cluster))
+		} else {
+			w[k] = float64(s.sizes[i]) / float64(total)
+		}
+	}
+	return w
+}
+
+func (s *Server) totalBytes() int64 {
+	var total int64
+	for _, c := range s.conns {
+		in, out := c.Bytes()
+		total += in + out
+	}
+	return total
+}
+
+func flatten(p LayerPayload) []float64 {
+	var out []float64
+	for _, d := range p.Data {
+		out = append(out, d...)
+	}
+	return out
+}
+
+func indexRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// RunClientLoop drives one client over an established connection: it sends
+// hello, then for each round trains locally via the callback, ships all
+// layers, and installs the aggregated reply. localRound must run one round
+// of local training and return the per-layer update norms.
+func RunClientLoop(conn *Conn, clientID, dataSize int,
+	params *autodiff.ParamSet,
+	localRound func(round int) map[int]float64) error {
+	if err := conn.Send(&Message{Kind: MsgHello, ClientID: clientID,
+		DataSize: dataSize}); err != nil {
+		return err
+	}
+	layers := make([]int, params.NumLayers())
+	for i := range layers {
+		layers[i] = i
+	}
+	for round := 0; ; round++ {
+		norms := localRound(round)
+		up := &Message{Kind: MsgUpdate, ClientID: clientID, Round: round,
+			Layers: EncodeLayers(params, layers, norms)}
+		if err := conn.Send(up); err != nil {
+			return err
+		}
+		reply, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		if reply.Kind == MsgDone {
+			return nil
+		}
+		if reply.Kind != MsgModel {
+			return fmt.Errorf("fedproto: unexpected reply kind %d", reply.Kind)
+		}
+		if err := ApplyLayers(params, reply.Layers); err != nil {
+			return err
+		}
+		if reply.Final {
+			return nil
+		}
+	}
+}

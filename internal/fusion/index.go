@@ -1,0 +1,118 @@
+package fusion
+
+import (
+	"fexiot/internal/rules"
+)
+
+// condKey identifies a device-state condition exactly.
+type condKey struct {
+	dev, room string
+	ch        rules.Channel
+	state     string
+}
+
+// envKey identifies an environmental influence (channel pushed in a
+// direction within a room).
+type envKey struct {
+	ch   rules.Channel
+	sign int
+	room string
+}
+
+// PoolIndex accelerates correlated-partner lookup over a large rule pool:
+// given a rule, it returns the pool rules its actions can trigger (forward)
+// and the pool rules whose actions can trigger it (backward) without
+// scanning the pool. Semantics mirror rules.CanTrigger exactly.
+type PoolIndex struct {
+	pool []*rules.Rule
+
+	trigDirect map[condKey][]*rules.Rule // rules triggered by exactly this state
+	trigEnv    map[envKey][]*rules.Rule  // rules triggered by this env push
+	actDirect  map[condKey][]*rules.Rule // rules performing exactly this state change
+	actEnv     map[envKey][]*rules.Rule  // rules whose actions push this env
+}
+
+// NewPoolIndex indexes pool.
+func NewPoolIndex(pool []*rules.Rule) *PoolIndex {
+	ix := &PoolIndex{
+		pool:       pool,
+		trigDirect: map[condKey][]*rules.Rule{},
+		trigEnv:    map[envKey][]*rules.Rule{},
+		actDirect:  map[condKey][]*rules.Rule{},
+		actEnv:     map[envKey][]*rules.Rule{},
+	}
+	for _, r := range pool {
+		t := r.Trigger
+		ix.trigDirect[condKey{t.Device, t.Room, t.Channel, t.State}] =
+			append(ix.trigDirect[condKey{t.Device, t.Room, t.Channel, t.State}], r)
+		if s := rules.StateSign(t.State); s != 0 {
+			k := envKey{t.Channel, s, t.Room}
+			ix.trigEnv[k] = append(ix.trigEnv[k], r)
+		}
+		for _, a := range r.Actions {
+			k := condKey{a.Device, a.Room, a.Channel, a.State}
+			ix.actDirect[k] = append(ix.actDirect[k], r)
+			for _, d := range a.Env {
+				ek := envKey{d.Channel, d.Sign, a.Room}
+				ix.actEnv[ek] = append(ix.actEnv[ek], r)
+			}
+		}
+	}
+	return ix
+}
+
+// Forward returns the pool rules that anchor's actions can trigger.
+func (ix *PoolIndex) Forward(anchor *rules.Rule) []*rules.Rule {
+	var out []*rules.Rule
+	seen := map[*rules.Rule]bool{anchor: true}
+	add := func(rs []*rules.Rule) {
+		for _, r := range rs {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	for _, a := range anchor.Actions {
+		add(ix.trigDirect[condKey{a.Device, a.Room, a.Channel, a.State}])
+		for _, d := range a.Env {
+			add(ix.trigEnv[envKey{d.Channel, d.Sign, a.Room}])
+		}
+	}
+	return out
+}
+
+// Backward returns the pool rules whose actions can trigger anchor.
+func (ix *PoolIndex) Backward(anchor *rules.Rule) []*rules.Rule {
+	var out []*rules.Rule
+	seen := map[*rules.Rule]bool{anchor: true}
+	add := func(rs []*rules.Rule) {
+		for _, r := range rs {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	t := anchor.Trigger
+	add(ix.actDirect[condKey{t.Device, t.Room, t.Channel, t.State}])
+	if s := rules.StateSign(t.State); s != 0 {
+		add(ix.actEnv[envKey{t.Channel, s, t.Room}])
+	}
+	return out
+}
+
+// Neighbors returns forward and backward partners combined.
+func (ix *PoolIndex) Neighbors(anchor *rules.Rule) []*rules.Rule {
+	f := ix.Forward(anchor)
+	b := ix.Backward(anchor)
+	seen := map[*rules.Rule]bool{}
+	var out []*rules.Rule
+	for _, r := range append(f, b...) {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

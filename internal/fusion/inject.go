@@ -1,0 +1,264 @@
+package fusion
+
+import (
+	"fmt"
+
+	"fexiot/internal/graph"
+	"fexiot/internal/rng"
+	"fexiot/internal/rules"
+)
+
+// injectPattern crafts one micro-pattern of a randomly chosen vulnerability
+// type and returns its rules. When possible, the pattern's root rule is
+// triggered by an existing member's action so the pattern is woven into the
+// surrounding interaction graph.
+func (b *Builder) injectPattern(members []*rules.Rule) []*rules.Rule {
+	kind := b.r.Intn(6)
+	return b.injectPatternOf(kind, members)
+}
+
+// injectPatternOf crafts the pattern for a specific vulnerability type
+// index (0..5, in the order of vuln.Type).
+func (b *Builder) injectPatternOf(kind int, members []*rules.Rule) []*rules.Rule {
+	root := b.rootCondition(members)
+	room := rng.Pick(b.r, patternRooms)
+	switch kind {
+	case 4:
+		return b.patternConflict(root, room)
+	case 2:
+		return b.patternRevert(root, room)
+	case 3:
+		return b.patternLoop(room)
+	case 5:
+		return b.patternDuplicate(root, room)
+	case 0:
+		return b.patternBypass(root, room)
+	default:
+		return b.patternBlock(root, room)
+	}
+}
+
+var patternRooms = []string{"kitchen", "bedroom", "hallway", "garage",
+	"living room", "bathroom"}
+
+// rootCondition derives a trigger condition from a random member's action
+// (tying the injected pattern into the graph), falling back to a sensor
+// trigger for empty graphs.
+func (b *Builder) rootCondition(members []*rules.Rule) rules.Condition {
+	if len(members) > 0 {
+		m := members[b.r.Intn(len(members))]
+		eff := m.Actions[b.r.Intn(len(m.Actions))]
+		return rules.Condition{Device: eff.Device, Room: eff.Room,
+			Channel: eff.Channel, State: eff.State}
+	}
+	return rules.Condition{Device: "motion sensor",
+		Room: rng.Pick(b.r, patternRooms), Channel: rules.ChanMotion,
+		State: "detected"}
+}
+
+var appPlatforms = []rules.Platform{rules.SmartThings, rules.HomeAssistant, rules.IFTTT}
+
+func (b *Builder) mkRule(trig rules.Condition, acts ...rules.Effect) *rules.Rule {
+	b.nextID++
+	platforms := b.InjectPlatforms
+	if len(platforms) == 0 {
+		platforms = appPlatforms
+	}
+	p := rng.Pick(b.r, platforms)
+	r := &rules.Rule{
+		ID:       fmt.Sprintf("inj%d", b.nextID),
+		Platform: p,
+		Trigger:  trig,
+		Actions:  acts,
+	}
+	r.Description = rules.Describe(p, trig, acts)
+	return r
+}
+
+// effect looks up a device command from the catalog by device name and
+// resulting state, scoped to room.
+func effect(device, room, state string) rules.Effect {
+	d, ok := rules.CatalogByName()[device]
+	if !ok {
+		panic(fmt.Sprintf("fusion: unknown device %q", device))
+	}
+	for _, c := range d.Commands {
+		if c.State == state {
+			return rules.Effect{Device: d.Name, Room: room, Verb: c.Verb,
+				Channel: c.Channel, State: c.State, Env: c.Env,
+				Sensitive: c.Sensitive}
+		}
+	}
+	panic(fmt.Sprintf("fusion: device %q has no command for state %q", device, state))
+}
+
+func cond(device, room string, ch rules.Channel, state string) rules.Condition {
+	return rules.Condition{Device: device, Room: room, Channel: ch, State: state}
+}
+
+// patternConflict: a shared cause forks into contradictory commands on one
+// device (the paper's motivating water-valve example).
+func (b *Builder) patternConflict(root rules.Condition, room string) []*rules.Rule {
+	w := b.mkRule(root, effect("heater", room, "on"))
+	heaterOn := cond("heater", room, rules.ChanPower, "on")
+	a := b.mkRule(heaterOn, effect("fan", room, "running"))
+	c := b.mkRule(heaterOn, effect("fan", room, "stopped"))
+	return []*rules.Rule{w, a, c}
+}
+
+// patternRevert: a downstream rule undoes the upstream action.
+func (b *Builder) patternRevert(root rules.Condition, room string) []*rules.Rule {
+	w := b.mkRule(root, effect("water valve", room, "on"))
+	// The valve raises the leak channel; the reverting rule watches the
+	// leak sensor — exactly rule R2 of the paper's introduction.
+	leakWet := cond("leak sensor", room, rules.ChanLeak, "wet")
+	a := b.mkRule(leakWet, effect("water valve", room, "off"))
+	return []*rules.Rule{w, a}
+}
+
+// patternLoop: two rules re-trigger each other forever.
+func (b *Builder) patternLoop(room string) []*rules.Rule {
+	a := b.mkRule(cond("fan", room, rules.ChanPower, "running"),
+		effect("humidifier", room, "on"))
+	c := b.mkRule(cond("humidifier", room, rules.ChanPower, "on"),
+		effect("fan", room, "running"))
+	return []*rules.Rule{a, c}
+}
+
+// patternDuplicate: a shared cause issues the same command twice.
+func (b *Builder) patternDuplicate(root rules.Condition, room string) []*rules.Rule {
+	w := b.mkRule(root, effect("light", room, "on"))
+	lightOn := cond("light", room, rules.ChanPower, "on")
+	a := b.mkRule(lightOn, effect("lock", room, "locked"))
+	c := b.mkRule(lightOn, effect("lock", room, "locked"))
+	return []*rules.Rule{w, a, c}
+}
+
+// patternBypass: an environmental side effect satisfies the trigger of a
+// security-sensitive rule.
+func (b *Builder) patternBypass(root rules.Condition, room string) []*rules.Rule {
+	// The vacuum's movement trips the motion sensor, artificially
+	// satisfying the trigger that unlocks the door.
+	w := b.mkRule(root, effect("vacuum", room, "running")) // env: motion up
+	a := b.mkRule(cond("motion sensor", room, rules.ChanMotion, "detected"),
+		effect("lock", room, "unlocked")) // sensitive unlock
+	return []*rules.Rule{w, a}
+}
+
+// patternBlock: one branch of a fork suppresses the trigger the other
+// branch is meant to satisfy.
+func (b *Builder) patternBlock(root rules.Condition, room string) []*rules.Rule {
+	a := b.mkRule(root, effect("heater", room, "on")) // env: temperature up → triggers v
+	u := b.mkRule(cond("heater", room, rules.ChanPower, "on"),
+		effect("air conditioner", room, "on")) // env: temperature down → blocks v
+	v := b.mkRule(cond("temperature sensor", room, rules.ChanTemperature, "high"),
+		effect("fan", room, "running"))
+	return []*rules.Rule{a, u, v}
+}
+
+// --- Drifting patterns (§IV-C) -------------------------------------------
+//
+// The three novel vulnerability kinds the paper discovers among drifting
+// samples. They are structurally unlike the six training patterns, so a
+// detector fitted on the labelled corpus should flag graphs containing them
+// as out-of-distribution rather than classify them.
+
+// DriftKind selects one of the three novel patterns.
+type DriftKind int
+
+// The discovered drifting patterns.
+const (
+	// DriftTimedRevert: "automation action is reverted over time" — a
+	// schedule-triggered rule undoes an event-triggered action, so no
+	// causal edge connects the pair and the revert detector cannot see it.
+	DriftTimedRevert DriftKind = iota
+	// DriftFakeCondition: "another action can generate fake automation
+	// conditions" — an environmental edge into a *benign* rule (the bypass
+	// detector only fires on sensitive actions).
+	DriftFakeCondition
+	// DriftManualBlock: "non-automation settings can block the existing
+	// actions of smart devices" — a rule commands a device that a manual
+	// setting (modelled as a schedule-held holder rule) keeps in the
+	// opposite state.
+	DriftManualBlock
+	NumDriftKinds
+)
+
+// InjectDrift crafts the rules of one drifting pattern; the caller weaves
+// them into a graph like the ordinary injected patterns.
+func (b *Builder) InjectDrift(kind DriftKind, members []*rules.Rule) []*rules.Rule {
+	root := b.rootCondition(members)
+	room := rng.Pick(b.r, patternRooms)
+	switch kind {
+	case DriftTimedRevert:
+		w := b.mkRule(root, effect("light", room, "on"))
+		timed := b.mkRule(rules.Condition{Device: "clock",
+			Channel: rules.ChanTime, State: "sunrise"},
+			effect("light", room, "off"))
+		return []*rules.Rule{w, timed}
+	case DriftFakeCondition:
+		// TV raises illuminance; the brightness rule fires on fake light.
+		w := b.mkRule(root, effect("tv", room, "on"))
+		a := b.mkRule(cond("illuminance sensor", room, rules.ChanIlluminance, "bright"),
+			effect("blind", room, "closed"))
+		return []*rules.Rule{w, a}
+	default: // DriftManualBlock
+		// A holder rule pins the switch off (a manual setting); the
+		// automation keeps commanding it on with no effect.
+		holder := b.mkRule(rules.Condition{Device: "clock",
+			Channel: rules.ChanTime, State: "night"},
+			effect("switch", room, "off"))
+		auto := b.mkRule(root, effect("switch", room, "on"))
+		return []*rules.Rule{holder, auto}
+	}
+}
+
+// OfflineWithDrift builds a base graph of about baseSize nodes (0 draws the
+// usual size distribution) and grafts one drifting pattern of the given
+// kind; the graph is tagged with the drift kind so experiments can count
+// recovered drifting samples. Smaller bases make the novel pattern dominate
+// the embedding, as the paper's drifting samples do.
+func (b *Builder) OfflineWithDrift(pool []*rules.Rule, kind DriftKind, baseSize int) *graph.Graph {
+	var g *graph.Graph
+	if baseSize > 0 {
+		g = b.Offline(pool, baseSize)
+	} else {
+		g = b.OfflineSized(pool)
+	}
+	injected := b.InjectDrift(kind, membersOf(g))
+	start := g.N()
+	for _, r := range injected {
+		feat, space := b.NodeFeature(r)
+		g.AddNode(graph.Node{Rule: r, Feature: feat, Space: space})
+	}
+	for i := start; i < g.N(); i++ {
+		ri := g.Nodes[i].Rule
+		for j := 0; j < g.N(); j++ {
+			if i == j {
+				continue
+			}
+			rj := g.Nodes[j].Rule
+			if k := b.Oracle(ri, rj); k != rules.NoMatch {
+				g.AddEdge(i, j, k)
+			}
+			if k := b.Oracle(rj, ri); k != rules.NoMatch {
+				g.AddEdge(j, i, k)
+			}
+		}
+	}
+	g.InvalidateCache()
+	driftTag := [...]string{"drift_timed_revert", "drift_fake_condition",
+		"drift_manual_block"}[kind]
+	g.Tags = append(g.Tags, driftTag)
+	return g
+}
+
+func membersOf(g *graph.Graph) []*rules.Rule {
+	out := make([]*rules.Rule, 0, g.N())
+	for _, n := range g.Nodes {
+		if n.Rule != nil {
+			out = append(out, n.Rule)
+		}
+	}
+	return out
+}

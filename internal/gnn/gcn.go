@@ -1,0 +1,64 @@
+package gnn
+
+import (
+	"fmt"
+
+	"fexiot/internal/autodiff"
+	"fexiot/internal/graph"
+	"fexiot/internal/mat"
+	"fexiot/internal/rng"
+)
+
+// GCN is a graph convolutional network with three convolution layers (the
+// configuration the paper adopts) and mean readout:
+//
+//	H_{l+1} = ReLU(Â · H_l · W_l),   z = mean_rows(H_L) · W_out
+type GCN struct {
+	InputDim  int
+	HiddenDim int
+	OutDim    int
+	NumConv   int
+
+	params *autodiff.ParamSet
+}
+
+// NewGCN builds a GCN with Glorot-initialised weights.
+func NewGCN(inputDim, hiddenDim, outDim int, seed int64) *GCN {
+	m := &GCN{InputDim: inputDim, HiddenDim: hiddenDim, OutDim: outDim, NumConv: 3}
+	r := rng.New(seed)
+	p := autodiff.NewParamSet()
+	in := inputDim
+	for l := 0; l < m.NumConv; l++ {
+		p.Register(fmt.Sprintf("conv%d.w", l), l, r.Glorot(in, hiddenDim))
+		p.Register(fmt.Sprintf("conv%d.b", l), l, mat.NewDense(1, hiddenDim))
+		in = hiddenDim
+	}
+	p.Register("out.w", m.NumConv, r.Glorot(2*hiddenDim, outDim))
+	m.params = p
+	return m
+}
+
+// Params returns the weight set.
+func (m *GCN) Params() *autodiff.ParamSet { return m.params }
+
+// EmbedDim returns the embedding width.
+func (m *GCN) EmbedDim() int { return m.OutDim }
+
+// Fresh returns a new GCN with the same shape.
+func (m *GCN) Fresh(seed int64) Model {
+	return NewGCN(m.InputDim, m.HiddenDim, m.OutDim, seed)
+}
+
+// Forward builds the embedding computation for one graph.
+func (m *GCN) Forward(t *autodiff.Tape, b *autodiff.Binder, g *graph.Graph) *autodiff.Node {
+	adj := g.CachedNormalizedAdjacency()
+	h := t.Constant(g.CachedPadFeatures(m.InputDim))
+	for l := 0; l < m.NumConv; l++ {
+		h = t.SpMM(adj, h)
+		h = t.MatMul(h, b.Node(fmt.Sprintf("conv%d.w", l)))
+		h = t.AddRowBroadcast(h, b.Node(fmt.Sprintf("conv%d.b", l)))
+		h = t.ReLU(h)
+	}
+	pooled := t.ConcatCols(t.MeanRows(h), t.MaxRows(h))
+	return t.MatMul(pooled, b.Node("out.w"))
+}

@@ -1,0 +1,91 @@
+package gnn
+
+import (
+	"fmt"
+
+	"fexiot/internal/autodiff"
+	"fexiot/internal/graph"
+	"fexiot/internal/mat"
+	"fexiot/internal/rng"
+)
+
+// GIN is the graph isomorphism network (Xu et al. 2019, "the original model
+// architecture"): each layer applies a two-layer MLP to the ε-weighted
+// neighbourhood sum, and the readout is the sum of per-layer sum-pooled
+// representations projected to the output width — the injective aggregation
+// that gives GIN its discriminative power over GCN.
+type GIN struct {
+	InputDim  int
+	HiddenDim int
+	OutDim    int
+	NumLayers int
+	Eps       float64
+
+	params *autodiff.ParamSet
+}
+
+// NewGIN builds a GIN with Glorot-initialised weights.
+func NewGIN(inputDim, hiddenDim, outDim int, seed int64) *GIN {
+	m := &GIN{InputDim: inputDim, HiddenDim: hiddenDim, OutDim: outDim,
+		NumLayers: 3, Eps: 0.1}
+	r := rng.New(seed)
+	p := autodiff.NewParamSet()
+	in := inputDim
+	for l := 0; l < m.NumLayers; l++ {
+		p.Register(fmt.Sprintf("gin%d.w1", l), l, r.Glorot(in, hiddenDim))
+		p.Register(fmt.Sprintf("gin%d.b1", l), l, mat.NewDense(1, hiddenDim))
+		p.Register(fmt.Sprintf("gin%d.w2", l), l, r.Glorot(hiddenDim, hiddenDim))
+		p.Register(fmt.Sprintf("gin%d.b2", l), l, mat.NewDense(1, hiddenDim))
+		// Per-layer readout projection (jumping knowledge style).
+		p.Register(fmt.Sprintf("gin%d.out", l), m.NumLayers, r.Glorot(2*hiddenDim, outDim))
+		in = hiddenDim
+	}
+	m.params = p
+	return m
+}
+
+// Params returns the weight set.
+func (m *GIN) Params() *autodiff.ParamSet { return m.params }
+
+// EmbedDim returns the embedding width.
+func (m *GIN) EmbedDim() int { return m.OutDim }
+
+// Fresh returns a new GIN with the same shape.
+func (m *GIN) Fresh(seed int64) Model {
+	return NewGIN(m.InputDim, m.HiddenDim, m.OutDim, seed)
+}
+
+// Forward builds the embedding computation for one graph.
+func (m *GIN) Forward(t *autodiff.Tape, b *autodiff.Binder, g *graph.Graph) *autodiff.Node {
+	agg := g.CachedSumAdjacency(m.Eps)
+	h := t.Constant(g.CachedPadFeatures(m.InputDim))
+	var readout *autodiff.Node
+	for l := 0; l < m.NumLayers; l++ {
+		h = t.SpMM(agg, h)
+		h = t.MatMul(h, b.Node(fmt.Sprintf("gin%d.w1", l)))
+		h = t.AddRowBroadcast(h, b.Node(fmt.Sprintf("gin%d.b1", l)))
+		h = t.ReLU(h)
+		h = t.MatMul(h, b.Node(fmt.Sprintf("gin%d.w2", l)))
+		h = t.AddRowBroadcast(h, b.Node(fmt.Sprintf("gin%d.b2", l)))
+		h = t.ReLU(h)
+		// Pool this layer: size-normalised sum (so graph size does not
+		// dominate contrastive distances) concatenated with a max pool
+		// that preserves existence of localised vulnerability patterns.
+		mean := t.Scale(t.SumRows(h), 1/float64(maxInt(g.N(), 1)))
+		pooled := t.ConcatCols(mean, t.MaxRows(h))
+		proj := t.MatMul(pooled, b.Node(fmt.Sprintf("gin%d.out", l)))
+		if readout == nil {
+			readout = proj
+		} else {
+			readout = t.Add(readout, proj)
+		}
+	}
+	return readout
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

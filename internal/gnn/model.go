@@ -1,0 +1,45 @@
+// Package gnn implements the graph neural networks of the paper's
+// evaluation: GCN (Kipf & Welling) and GIN (Xu et al.) for the homogeneous
+// IFTTT dataset, and MAGNN-style metapath-aggregated heterogeneous
+// embedding for the five-platform dataset. Models produce fixed-size graph
+// embeddings trained with the contrastive loss of Eq. (2); a local linear
+// classifier (ml.SGDClassifier) turns embeddings into vulnerability
+// predictions, mirroring §III-B1.
+package gnn
+
+import (
+	"fexiot/internal/autodiff"
+	"fexiot/internal/graph"
+)
+
+// Model is a graph representation learner. Implementations must register
+// all weights in a ParamSet with layer indices (bottom = 0) so the
+// layer-wise federated clustering of Algorithm 1 can operate on them.
+type Model interface {
+	// Params exposes the trainable weights.
+	Params() *autodiff.ParamSet
+	// Forward builds the 1×EmbedDim graph embedding on a tape.
+	Forward(t *autodiff.Tape, b *autodiff.Binder, g *graph.Graph) *autodiff.Node
+	// EmbedDim is the embedding width.
+	EmbedDim() int
+	// Fresh returns a new model with the same architecture and
+	// independently initialised weights (used to spawn FL clients).
+	Fresh(seed int64) Model
+}
+
+// Embed runs inference and returns the embedding as a plain vector.
+func Embed(m Model, g *graph.Graph) []float64 {
+	t := autodiff.NewTape()
+	b := autodiff.Bind(t, m.Params())
+	out := m.Forward(t, b, g)
+	return append([]float64(nil), out.Value.Row(0)...)
+}
+
+// EmbedAll embeds a batch of graphs.
+func EmbedAll(m Model, gs []*graph.Graph) [][]float64 {
+	out := make([][]float64, len(gs))
+	for i, g := range gs {
+		out[i] = Embed(m, g)
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+package gnn
+
+import (
+	"testing"
+
+	"fexiot/internal/autodiff"
+)
+
+// BenchmarkTrainContrastive measures the core training hot path (used for
+// profiling; the repository-level benches live in bench_test.go).
+func BenchmarkTrainContrastive(b *testing.B) {
+	gs := benchGraphs(b, 200)
+	m := NewGIN(featDim, 32, 16, 7)
+	cfg := DefaultTrainConfig(11)
+	cfg.PairsPerEpoch = 50
+	opt := autodiff.NewAdam(0.005)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		TrainContrastive(m, gs, cfg, opt)
+	}
+}

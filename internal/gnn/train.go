@@ -1,0 +1,228 @@
+package gnn
+
+import (
+	"fexiot/internal/autodiff"
+	"fexiot/internal/graph"
+	"fexiot/internal/mat"
+	"fexiot/internal/ml"
+	"fexiot/internal/rng"
+)
+
+// TrainConfig controls contrastive representation learning (Eq. 2).
+type TrainConfig struct {
+	Margin        float64 // the distance threshold k in Eq. (2)
+	LR            float64 // Adam learning rate (paper: 0.001)
+	Epochs        int     // local passes
+	PairsPerEpoch int     // contrastive pairs sampled per pass
+	BatchPairs    int     // pairs accumulated per optimiser step
+	Seed          int64
+}
+
+// DefaultTrainConfig mirrors the paper's training setup.
+func DefaultTrainConfig(seed int64) TrainConfig {
+	return TrainConfig{Margin: 2.0, LR: 0.001, Epochs: 1,
+		PairsPerEpoch: 64, BatchPairs: 8, Seed: seed}
+}
+
+// TrainContrastive runs contrastive training of the model on labelled
+// graphs, sampling same-class and different-class pairs in roughly equal
+// proportion. The optimiser is owned by the caller so federated clients
+// keep momentum state across rounds.
+func TrainContrastive(m Model, graphs []*graph.Graph, cfg TrainConfig, opt *autodiff.Adam) {
+	if len(graphs) < 2 {
+		return
+	}
+	r := rng.New(cfg.Seed)
+	var pos, neg []int
+	for i, g := range graphs {
+		if g.Label {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	samplePair := func() (a, b *graph.Graph, diff bool) {
+		if len(pos) > 0 && len(neg) > 0 && r.Bool(0.5) {
+			return graphs[pos[r.Intn(len(pos))]], graphs[neg[r.Intn(len(neg))]], true
+		}
+		pool := neg
+		if len(pool) < 2 || (len(pos) >= 2 && r.Bool(0.5)) {
+			pool = pos
+		}
+		if len(pool) < 2 {
+			i, j := r.Intn(len(graphs)), r.Intn(len(graphs))
+			return graphs[i], graphs[j], graphs[i].Label != graphs[j].Label
+		}
+		i := r.Intn(len(pool))
+		j := r.Intn(len(pool))
+		for j == i && len(pool) > 1 {
+			j = r.Intn(len(pool))
+		}
+		return graphs[pool[i]], graphs[pool[j]], false
+	}
+
+	for e := 0; e < cfg.Epochs; e++ {
+		remaining := cfg.PairsPerEpoch
+		for remaining > 0 {
+			batch := cfg.BatchPairs
+			if batch > remaining {
+				batch = remaining
+			}
+			remaining -= batch
+			grads := map[string]*mat.Dense{}
+			for k := 0; k < batch; k++ {
+				ga, gb, diff := samplePair()
+				tape := autodiff.NewTape()
+				binder := autodiff.Bind(tape, m.Params())
+				za := m.Forward(tape, binder, ga)
+				zb := m.Forward(tape, binder, gb)
+				loss := tape.ContrastiveLoss(za, zb, diff, cfg.Margin)
+				loss = tape.Scale(loss, 1/float64(batch))
+				tape.Backward(loss)
+				binder.AccumulateGrads(grads)
+			}
+			autodiff.ClipGrads(grads, 5)
+			opt.Step(m.Params(), grads)
+		}
+	}
+}
+
+// SupervisedHead is a linear classification head trained jointly with the
+// model under weighted cross-entropy — the ablation counterpart of the
+// paper's contrastive objective (DESIGN.md §4.2).
+type SupervisedHead struct {
+	params *autodiff.ParamSet
+}
+
+// NewSupervisedHead creates a head for a model's embedding width.
+func NewSupervisedHead(embedDim int, seed int64) *SupervisedHead {
+	r := rng.New(seed)
+	p := autodiff.NewParamSet()
+	p.Register("head.w", 0, r.Glorot(embedDim, 2))
+	p.Register("head.b", 0, mat.NewDense(1, 2))
+	return &SupervisedHead{params: p}
+}
+
+// TrainSupervised trains model+head jointly with weighted cross-entropy on
+// graph labels. Both optimisers are caller-owned.
+func TrainSupervised(m Model, head *SupervisedHead, graphs []*graph.Graph,
+	cfg TrainConfig, opt, headOpt *autodiff.Adam, classWeights []float64) {
+	if len(graphs) == 0 {
+		return
+	}
+	r := rng.New(cfg.Seed)
+	for e := 0; e < cfg.Epochs; e++ {
+		remaining := cfg.PairsPerEpoch
+		for remaining > 0 {
+			batch := cfg.BatchPairs
+			if batch > remaining {
+				batch = remaining
+			}
+			remaining -= batch
+			grads := map[string]*mat.Dense{}
+			headGrads := map[string]*mat.Dense{}
+			for k := 0; k < batch; k++ {
+				g := graphs[r.Intn(len(graphs))]
+				label := 0
+				if g.Label {
+					label = 1
+				}
+				tape := autodiff.NewTape()
+				binder := autodiff.Bind(tape, m.Params())
+				hb := autodiff.Bind(tape, head.params)
+				z := m.Forward(tape, binder, g)
+				logits := tape.AddRowBroadcast(tape.MatMul(z, hb.Node("head.w")), hb.Node("head.b"))
+				loss := tape.SoftmaxCrossEntropy(logits, []int{label}, classWeights)
+				loss = tape.Scale(loss, 1/float64(batch))
+				tape.Backward(loss)
+				binder.AccumulateGrads(grads)
+				hb.AccumulateGrads(headGrads)
+			}
+			autodiff.ClipGrads(grads, 5)
+			autodiff.ClipGrads(headGrads, 5)
+			opt.Step(m.Params(), grads)
+			headOpt.Step(head.params, headGrads)
+		}
+	}
+}
+
+// PredictSupervised classifies a graph with the trained head.
+func (h *SupervisedHead) Predict(m Model, g *graph.Graph) int {
+	z := Embed(m, g)
+	w := h.params.Get("head.w")
+	b := h.params.Get("head.b")
+	logit0, logit1 := b.At(0, 0), b.At(0, 1)
+	for i, v := range z {
+		logit0 += v * w.At(i, 0)
+		logit1 += v * w.At(i, 1)
+	}
+	if logit1 >= logit0 {
+		return 1
+	}
+	return 0
+}
+
+// Detector couples a graph representation model with the local linear
+// classifier of §III-B1 (an SGDClassifier on graph embeddings).
+type Detector struct {
+	Model Model
+	Clf   *ml.SGDClassifier
+}
+
+// NewDetector wires a model to a fresh SGD classifier.
+func NewDetector(m Model, seed int64) *Detector {
+	clf := ml.NewSGDClassifier(30, 0.1, seed)
+	return &Detector{Model: m, Clf: clf}
+}
+
+// FitClassifier trains the linear head on the embeddings of the labelled
+// graphs, with inverse-frequency class weights (the paper's imbalance
+// handling).
+func (d *Detector) FitClassifier(graphs []*graph.Graph) {
+	if len(graphs) == 0 {
+		return
+	}
+	x := make([][]float64, len(graphs))
+	y := make([]int, len(graphs))
+	pos := 0
+	for i, g := range graphs {
+		x[i] = Embed(d.Model, g)
+		if g.Label {
+			y[i] = 1
+			pos++
+		}
+	}
+	neg := len(graphs) - pos
+	if pos > 0 && neg > 0 {
+		total := float64(len(graphs))
+		d.Clf.ClassWeights = []float64{total / (2 * float64(neg)),
+			total / (2 * float64(pos))}
+	}
+	d.Clf.Fit(x, y)
+}
+
+// Score returns the vulnerability probability of a graph.
+func (d *Detector) Score(g *graph.Graph) float64 {
+	return d.Clf.Score(Embed(d.Model, g))
+}
+
+// Predict thresholds Score at 0.5.
+func (d *Detector) Predict(g *graph.Graph) int {
+	if d.Score(g) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// EvaluateDetector computes detection metrics over labelled graphs.
+func EvaluateDetector(d *Detector, graphs []*graph.Graph) ml.Metrics {
+	pred := make([]int, len(graphs))
+	truth := make([]int, len(graphs))
+	for i, g := range graphs {
+		pred[i] = d.Predict(g)
+		if g.Label {
+			truth[i] = 1
+		}
+	}
+	return ml.Evaluate(pred, truth)
+}

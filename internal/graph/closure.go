@@ -1,0 +1,82 @@
+package graph
+
+// Closure is a precomputed transitive closure over the directed edges,
+// stored as per-node bitsets. The ground-truth labeler issues O(n²)
+// reachability and common-ancestor queries per graph; with n ≤ 50 the
+// closure makes each query a few word operations.
+type Closure struct {
+	n     int
+	words int
+	reach [][]uint64 // reach[u] bitset of nodes reachable from u (excl. u unless on a cycle)
+	out   [][]int
+}
+
+// TransitiveClosure computes the closure of g.
+func (g *Graph) TransitiveClosure() *Closure {
+	n := g.N()
+	words := (n + 63) / 64
+	c := &Closure{n: n, words: words,
+		reach: make([][]uint64, n), out: make([][]int, n)}
+	for _, e := range g.Edges {
+		c.out[e.From] = append(c.out[e.From], e.To)
+	}
+	visited := make([]bool, n)
+	for u := 0; u < n; u++ {
+		bits := make([]uint64, words)
+		for i := range visited {
+			visited[i] = false
+		}
+		stack := append([]int(nil), c.out[u]...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			bits[v/64] |= 1 << (uint(v) % 64)
+			stack = append(stack, c.out[v]...)
+		}
+		c.reach[u] = bits
+	}
+	return c
+}
+
+// Reachable reports whether v is reachable from u along directed edges
+// (true for u==v only when u lies on a cycle).
+func (c *Closure) Reachable(u, v int) bool {
+	return c.reach[u][v/64]&(1<<(uint(v)%64)) != 0
+}
+
+// CommonAncestor reports whether u and v are causally related: one reaches
+// the other, or a third node reaches both.
+func (c *Closure) CommonAncestor(u, v int) bool {
+	if c.Reachable(u, v) || c.Reachable(v, u) {
+		return true
+	}
+	for w := 0; w < c.n; w++ {
+		if w == u || w == v {
+			continue
+		}
+		if c.Reachable(w, u) && c.Reachable(w, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// InDegree returns the in-degree of node v.
+func (c *Closure) InDegree(v int) int {
+	n := 0
+	for u := 0; u < c.n; u++ {
+		for _, x := range c.out[u] {
+			if x == v {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Out returns the adjacency list of u (shared slice; do not mutate).
+func (c *Closure) Out(u int) []int { return c.out[u] }

@@ -1,0 +1,302 @@
+// Package mat implements the dense linear-algebra kernel used throughout
+// FexIoT: matrices, vectors, BLAS-like products, linear solvers and the
+// statistics helpers needed by the learning substrates. It is deliberately
+// small, allocation-conscious and dependency-free.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is a row-major dense matrix of float64.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense allocates an r×c zero matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseData wraps an existing backing slice; len(data) must equal r*c.
+func NewDenseData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), r, c))
+	}
+	return &Dense{rows: r, cols: c, data: data}
+}
+
+// Dims returns the row and column counts.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// Data exposes the backing slice in row-major order.
+func (m *Dense) Data() []float64 { return m.data }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Add increments the element at row i, column j by v.
+func (m *Dense) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Row returns a view of row i (shared backing memory).
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// SetRow copies v into row i.
+func (m *Dense) SetRow(i int, v []float64) {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("mat: SetRow length %d want %d", len(v), m.cols))
+	}
+	copy(m.Row(i), v)
+}
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Zero resets every element to 0 in place.
+func (m *Dense) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (m *Dense) Fill(v float64) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// CopyFrom copies src into m; dimensions must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic(fmt.Sprintf("mat: CopyFrom %dx%d into %dx%d", src.rows, src.cols, m.rows, m.cols))
+	}
+	copy(m.data, src.data)
+}
+
+// T returns the transpose as a newly allocated matrix.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		ri := m.Row(i)
+		for j, v := range ri {
+			out.data[j*m.rows+i] = v
+		}
+	}
+	return out
+}
+
+// Scale multiplies every element by s in place and returns m.
+func (m *Dense) Scale(s float64) *Dense {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+	return m
+}
+
+// AddScaled performs m += s*b element-wise in place and returns m.
+func (m *Dense) AddScaled(b *Dense, s float64) *Dense {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("mat: AddScaled %dx%d with %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	for i, v := range b.data {
+		m.data[i] += s * v
+	}
+	return m
+}
+
+// Apply replaces each element x with f(x) in place and returns m.
+func (m *Dense) Apply(f func(float64) float64) *Dense {
+	for i, v := range m.data {
+		m.data[i] = f(v)
+	}
+	return m
+}
+
+// Equalish reports whether m and b agree element-wise within tol.
+func (m *Dense) Equalish(b *Dense, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Norm returns the Frobenius norm.
+func (m *Dense) Norm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element, or 0 for an empty matrix.
+func (m *Dense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Sum returns the sum of all elements.
+func (m *Dense) Sum() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v
+	}
+	return s
+}
+
+// String renders a small matrix for debugging.
+func (m *Dense) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dense(%dx%d)[", m.rows, m.cols)
+	for i := 0; i < m.rows && i < 6; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < m.cols && j < 8; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.4g", m.At(i, j))
+		}
+		if m.cols > 8 {
+			b.WriteString(" …")
+		}
+	}
+	if m.rows > 6 {
+		b.WriteString("; …")
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Mul computes C = A·B into a new matrix.
+func Mul(a, b *Dense) *Dense {
+	c := NewDense(a.rows, b.cols)
+	MulTo(c, a, b)
+	return c
+}
+
+// MulTo computes dst = A·B; dst must be a.rows×b.cols and distinct from a, b.
+func MulTo(dst, a, b *Dense) {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul %dx%d by %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulTo dst %dx%d want %dx%d", dst.rows, dst.cols, a.rows, b.cols))
+	}
+	dst.Zero()
+	// ikj loop order keeps the inner loop streaming over contiguous rows.
+	for i := 0; i < a.rows; i++ {
+		ai := a.Row(i)
+		ci := dst.Row(i)
+		for k, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j, bv := range bk {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulTTo computes dst = Aᵀ·B without materialising the transpose.
+func MulTTo(dst, a, b *Dense) {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("mat: MulT %dx%d by %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.cols || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulTTo dst %dx%d want %dx%d", dst.rows, dst.cols, a.cols, b.cols))
+	}
+	dst.Zero()
+	for k := 0; k < a.rows; k++ {
+		ak := a.Row(k)
+		bk := b.Row(k)
+		for i, av := range ak {
+			if av == 0 {
+				continue
+			}
+			di := dst.Row(i)
+			for j, bv := range bk {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulBTTo computes dst = A·Bᵀ without materialising the transpose.
+func MulBTTo(dst, a, b *Dense) {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulBT %dx%d by %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulBTTo dst %dx%d want %dx%d", dst.rows, dst.cols, a.rows, b.rows))
+	}
+	for i := 0; i < a.rows; i++ {
+		ai := a.Row(i)
+		di := dst.Row(i)
+		for j := 0; j < b.rows; j++ {
+			bj := b.Row(j)
+			var s float64
+			for k, av := range ai {
+				s += av * bj[k]
+			}
+			di[j] = s
+		}
+	}
+}
+
+// AddM returns A+B as a new matrix.
+func AddM(a, b *Dense) *Dense {
+	out := a.Clone()
+	return out.AddScaled(b, 1)
+}
+
+// SubM returns A−B as a new matrix.
+func SubM(a, b *Dense) *Dense {
+	out := a.Clone()
+	return out.AddScaled(b, -1)
+}
+
+// Hadamard returns the element-wise product as a new matrix.
+func Hadamard(a, b *Dense) *Dense {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("mat: Hadamard %dx%d with %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] *= v
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package mat
+
+import "fmt"
+
+// CSR is a compressed sparse row matrix. It is used for normalised graph
+// adjacency operators (Â in GCN, the aggregation operator in GIN/MAGNN),
+// which stay fixed during training so no gradient flows through them.
+type CSR struct {
+	rows, cols int
+	indptr     []int
+	indices    []int
+	vals       []float64
+}
+
+// NewCSR builds a CSR matrix from coordinate triplets. Duplicate coordinates
+// are summed. Entries must have valid indices.
+func NewCSR(rows, cols int, is, js []int, vs []float64) *CSR {
+	if len(is) != len(js) || len(is) != len(vs) {
+		panic("mat: NewCSR triplet length mismatch")
+	}
+	counts := make([]int, rows+1)
+	for _, i := range is {
+		if i < 0 || i >= rows {
+			panic(fmt.Sprintf("mat: NewCSR row %d out of range %d", i, rows))
+		}
+		counts[i+1]++
+	}
+	for i := 0; i < rows; i++ {
+		counts[i+1] += counts[i]
+	}
+	indptr := counts
+	indices := make([]int, len(is))
+	vals := make([]float64, len(is))
+	fill := make([]int, rows)
+	for k, i := range is {
+		j := js[k]
+		if j < 0 || j >= cols {
+			panic(fmt.Sprintf("mat: NewCSR col %d out of range %d", j, cols))
+		}
+		pos := indptr[i] + fill[i]
+		indices[pos] = j
+		vals[pos] = vs[k]
+		fill[i]++
+	}
+	m := &CSR{rows: rows, cols: cols, indptr: indptr, indices: indices, vals: vals}
+	m.sumDuplicates()
+	return m
+}
+
+// sumDuplicates merges repeated (i,j) entries within each row.
+func (m *CSR) sumDuplicates() {
+	newIndptr := make([]int, m.rows+1)
+	newIndices := m.indices[:0]
+	newVals := m.vals[:0]
+	pos := 0
+	for i := 0; i < m.rows; i++ {
+		start, end := m.indptr[i], m.indptr[i+1]
+		// Rows are short (graph degree ≤ 50); simple insertion merge.
+		type ent struct {
+			j int
+			v float64
+		}
+		var row []ent
+		for k := start; k < end; k++ {
+			j, v := m.indices[k], m.vals[k]
+			merged := false
+			for t := range row {
+				if row[t].j == j {
+					row[t].v += v
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				row = append(row, ent{j, v})
+			}
+		}
+		for _, e := range row {
+			newIndices = append(newIndices, e.j)
+			newVals = append(newVals, e.v)
+			pos++
+		}
+		newIndptr[i+1] = pos
+	}
+	m.indptr = newIndptr
+	m.indices = newIndices
+	m.vals = newVals
+}
+
+// Dims returns the matrix dimensions.
+func (m *CSR) Dims() (int, int) { return m.rows, m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// RowNZ iterates the non-zeros of row i.
+func (m *CSR) RowNZ(i int, fn func(j int, v float64)) {
+	for k := m.indptr[i]; k < m.indptr[i+1]; k++ {
+		fn(m.indices[k], m.vals[k])
+	}
+}
+
+// T returns the transpose as a new CSR matrix.
+func (m *CSR) T() *CSR {
+	is := make([]int, 0, m.NNZ())
+	js := make([]int, 0, m.NNZ())
+	vs := make([]float64, 0, m.NNZ())
+	for i := 0; i < m.rows; i++ {
+		m.RowNZ(i, func(j int, v float64) {
+			is = append(is, j)
+			js = append(js, i)
+			vs = append(vs, v)
+		})
+	}
+	return NewCSR(m.cols, m.rows, is, js, vs)
+}
+
+// SpMMTo computes dst = S·B where S is sparse and B, dst are dense.
+func SpMMTo(dst *Dense, s *CSR, b *Dense) {
+	if s.cols != b.rows {
+		panic(fmt.Sprintf("mat: SpMM %dx%d by %dx%d", s.rows, s.cols, b.rows, b.cols))
+	}
+	if dst.rows != s.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: SpMMTo dst %dx%d want %dx%d", dst.rows, dst.cols, s.rows, b.cols))
+	}
+	dst.Zero()
+	for i := 0; i < s.rows; i++ {
+		di := dst.Row(i)
+		for k := s.indptr[i]; k < s.indptr[i+1]; k++ {
+			j, v := s.indices[k], s.vals[k]
+			bj := b.Row(j)
+			for c, bv := range bj {
+				di[c] += v * bv
+			}
+		}
+	}
+}
+
+// SpMM computes S·B into a new dense matrix.
+func SpMM(s *CSR, b *Dense) *Dense {
+	out := NewDense(s.rows, b.cols)
+	SpMMTo(out, s, b)
+	return out
+}
+
+// ToDense expands the sparse matrix into dense form (for tests).
+func (m *CSR) ToDense() *Dense {
+	out := NewDense(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		m.RowNZ(i, func(j int, v float64) { out.Add(i, j, v) })
+	}
+	return out
+}

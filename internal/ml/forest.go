@@ -1,0 +1,69 @@
+package ml
+
+import (
+	"math"
+
+	"fexiot/internal/rng"
+)
+
+// RandomForest is the bagged-tree ensemble of Fig. 3: each tree trains on a
+// bootstrap resample with a random feature subspace per split (the "random
+// subspace technique" the paper credits for avoiding overfitting).
+type RandomForest struct {
+	Trees    int
+	MaxDepth int
+	Seed     int64
+
+	forest []*DecisionTree
+}
+
+// NewRandomForest creates a forest.
+func NewRandomForest(trees, maxDepth int, seed int64) *RandomForest {
+	return &RandomForest{Trees: trees, MaxDepth: maxDepth, Seed: seed}
+}
+
+// Fit trains the ensemble.
+func (f *RandomForest) Fit(x [][]float64, y []int) {
+	f.forest = f.forest[:0]
+	if len(x) == 0 {
+		return
+	}
+	d := len(x[0])
+	maxFeat := int(math.Sqrt(float64(d))) + 1
+	r := rng.New(f.Seed)
+	for t := 0; t < f.Trees; t++ {
+		// Bootstrap resample expressed as per-sample weights.
+		w := make([]float64, len(x))
+		for i := 0; i < len(x); i++ {
+			w[r.Intn(len(x))]++
+		}
+		tree := &DecisionTree{
+			MaxDepth:    f.MaxDepth,
+			MinSamples:  2,
+			MaxFeatures: maxFeat,
+			Seed:        f.Seed + int64(t)*101,
+		}
+		tree.FitWeighted(x, y, w)
+		f.forest = append(f.forest, tree)
+	}
+}
+
+// Score averages tree probabilities.
+func (f *RandomForest) Score(q []float64) float64 {
+	if len(f.forest) == 0 {
+		return 0.5
+	}
+	var s float64
+	for _, t := range f.forest {
+		s += t.Score(q)
+	}
+	return s / float64(len(f.forest))
+}
+
+// Predict thresholds Score at 0.5.
+func (f *RandomForest) Predict(q []float64) int {
+	if f.Score(q) >= 0.5 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,204 @@
+package ml
+
+import (
+	"math"
+	"sort"
+
+	"fexiot/internal/mat"
+)
+
+// regNode is a regression tree node used by gradient boosting.
+type regNode struct {
+	feature int
+	thresh  float64
+	left    *regNode
+	right   *regNode
+	value   float64
+	isLeaf  bool
+}
+
+// regTree fits a depth-bounded regression tree on residuals by variance
+// reduction, with leaf values computed by the Newton step for logistic loss
+// (as in standard GBDT).
+type regTree struct {
+	maxDepth   int
+	minSamples int
+	root       *regNode
+}
+
+// fit grows the tree on gradients g and hessians h.
+func (t *regTree) fit(x [][]float64, g, h []float64) {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(x, g, h, idx, 0)
+}
+
+func leafValue(g, h []float64, idx []int) float64 {
+	var sg, sh float64
+	for _, i := range idx {
+		sg += g[i]
+		sh += h[i]
+	}
+	if sh < 1e-9 {
+		return 0
+	}
+	return -sg / sh // Newton step
+}
+
+func (t *regTree) grow(x [][]float64, g, h []float64, idx []int, depth int) *regNode {
+	if depth >= t.maxDepth || len(idx) < t.minSamples {
+		return &regNode{isLeaf: true, value: leafValue(g, h, idx)}
+	}
+	// Gain for splitting by the standard GBDT criterion G²/H.
+	score := func(sg, sh float64) float64 {
+		if sh < 1e-9 {
+			return 0
+		}
+		return sg * sg / sh
+	}
+	var totG, totH float64
+	for _, i := range idx {
+		totG += g[i]
+		totH += h[i]
+	}
+	parent := score(totG, totH)
+	bestGain := 1e-10
+	bestFeat := -1
+	bestThresh := 0.0
+	d := len(x[0])
+	type pair struct {
+		v float64
+		i int
+	}
+	vals := make([]pair, len(idx))
+	for f := 0; f < d; f++ {
+		for k, i := range idx {
+			vals[k] = pair{x[i][f], i}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		var lg, lh float64
+		for k := 0; k+1 < len(vals); k++ {
+			i := vals[k].i
+			lg += g[i]
+			lh += h[i]
+			if vals[k].v == vals[k+1].v {
+				continue
+			}
+			gain := score(lg, lh) + score(totG-lg, totH-lh) - parent
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (vals[k].v + vals[k+1].v) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &regNode{isLeaf: true, value: leafValue(g, h, idx)}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return &regNode{isLeaf: true, value: leafValue(g, h, idx)}
+	}
+	return &regNode{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		left:    t.grow(x, g, h, li, depth+1),
+		right:   t.grow(x, g, h, ri, depth+1),
+	}
+}
+
+func (t *regTree) predict(q []float64) float64 {
+	n := t.root
+	if n == nil {
+		return 0
+	}
+	for !n.isLeaf {
+		if q[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// GradientBoost is the gradient-boosted-trees classifier of Fig. 3: an
+// additive ensemble of shallow regression trees fit to the logistic-loss
+// gradients, with shrinkage.
+type GradientBoost struct {
+	Trees        int
+	MaxDepth     int
+	LearningRate float64
+
+	bias  float64
+	trees []*regTree
+}
+
+// NewGradientBoost creates a boosted ensemble.
+func NewGradientBoost(trees, maxDepth int, lr float64) *GradientBoost {
+	return &GradientBoost{Trees: trees, MaxDepth: maxDepth, LearningRate: lr}
+}
+
+// Fit trains the ensemble by functional gradient descent on logistic loss.
+func (b *GradientBoost) Fit(x [][]float64, y []int) {
+	b.trees = b.trees[:0]
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	// Initial bias: log-odds of the positive rate.
+	pos := 0
+	for _, v := range y {
+		if v == 1 {
+			pos++
+		}
+	}
+	p := mat.Clamp(float64(pos)/float64(n), 1e-6, 1-1e-6)
+	b.bias = math.Log(p / (1 - p))
+
+	raw := make([]float64, n)
+	for i := range raw {
+		raw[i] = b.bias
+	}
+	g := make([]float64, n)
+	h := make([]float64, n)
+	for t := 0; t < b.Trees; t++ {
+		for i := 0; i < n; i++ {
+			pi := mat.Sigmoid(raw[i])
+			g[i] = pi - float64(y[i]) // dL/draw
+			h[i] = pi * (1 - pi)      // d²L/draw²
+		}
+		tree := &regTree{maxDepth: b.MaxDepth, minSamples: 2}
+		tree.fit(x, g, h)
+		b.trees = append(b.trees, tree)
+		for i := 0; i < n; i++ {
+			raw[i] += b.LearningRate * tree.predict(x[i])
+		}
+	}
+}
+
+// Score returns the positive-class probability.
+func (b *GradientBoost) Score(q []float64) float64 {
+	raw := b.bias
+	for _, t := range b.trees {
+		raw += b.LearningRate * t.predict(q)
+	}
+	return mat.Sigmoid(raw)
+}
+
+// Predict thresholds Score at 0.5.
+func (b *GradientBoost) Predict(q []float64) int {
+	if b.Score(q) >= 0.5 {
+		return 1
+	}
+	return 0
+}

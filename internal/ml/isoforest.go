@@ -1,0 +1,155 @@
+package ml
+
+import (
+	"math"
+
+	"fexiot/internal/rng"
+)
+
+// IsolationForest is the density-based anomaly detector of Table II (Liu et
+// al., ICDM 2008): anomalous points isolate in fewer random splits, so a
+// short average path length across random isolation trees marks an outlier.
+type IsolationForest struct {
+	Trees      int
+	SampleSize int
+	Seed       int64
+	// Threshold on the anomaly score in (0,1); above = anomaly. The
+	// conventional default is 0.5 under the c(n) normalisation.
+	Threshold float64
+
+	trees []*isoNode
+	cn    float64
+}
+
+type isoNode struct {
+	feature int
+	thresh  float64
+	left    *isoNode
+	right   *isoNode
+	size    int
+	isLeaf  bool
+}
+
+// NewIsolationForest creates a forest with standard parameters.
+func NewIsolationForest(trees, sampleSize int, seed int64) *IsolationForest {
+	return &IsolationForest{Trees: trees, SampleSize: sampleSize, Seed: seed,
+		Threshold: 0.5}
+}
+
+// avgPathLength is c(n), the average unsuccessful-search path length of a
+// BST with n nodes, used to normalise path lengths.
+func avgPathLength(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	h := math.Log(float64(n-1)) + 0.5772156649
+	return 2*h - 2*float64(n-1)/float64(n)
+}
+
+// Fit builds the isolation trees. Labels are ignored (unsupervised); the
+// Classifier interface is satisfied so the Table II harness can treat every
+// system uniformly.
+func (f *IsolationForest) Fit(x [][]float64, _ []int) {
+	f.trees = f.trees[:0]
+	if len(x) == 0 {
+		return
+	}
+	sample := f.SampleSize
+	if sample <= 0 || sample > len(x) {
+		sample = min(256, len(x))
+	}
+	f.cn = avgPathLength(sample)
+	maxDepth := int(math.Ceil(math.Log2(float64(sample)))) + 1
+	r := rng.New(f.Seed)
+	for t := 0; t < f.Trees; t++ {
+		idx := r.SampleWithoutReplacement(len(x), sample)
+		f.trees = append(f.trees, buildIso(x, idx, 0, maxDepth, r))
+	}
+}
+
+func buildIso(x [][]float64, idx []int, depth, maxDepth int, r *rng.RNG) *isoNode {
+	if depth >= maxDepth || len(idx) <= 1 {
+		return &isoNode{isLeaf: true, size: len(idx)}
+	}
+	d := len(x[0])
+	// Pick a feature with spread.
+	var feat int
+	var lo, hi float64
+	found := false
+	for trial := 0; trial < d; trial++ {
+		feat = r.Intn(d)
+		lo, hi = x[idx[0]][feat], x[idx[0]][feat]
+		for _, i := range idx {
+			v := x[i][feat]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > lo {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return &isoNode{isLeaf: true, size: len(idx)}
+	}
+	thresh := r.Range(lo, hi)
+	var li, ri []int
+	for _, i := range idx {
+		if x[i][feat] < thresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return &isoNode{isLeaf: true, size: len(idx)}
+	}
+	return &isoNode{
+		feature: feat,
+		thresh:  thresh,
+		left:    buildIso(x, li, depth+1, maxDepth, r),
+		right:   buildIso(x, ri, depth+1, maxDepth, r),
+	}
+}
+
+func pathLength(n *isoNode, q []float64, depth float64) float64 {
+	if n.isLeaf {
+		return depth + avgPathLength(n.size)
+	}
+	if q[n.feature] < n.thresh {
+		return pathLength(n.left, q, depth+1)
+	}
+	return pathLength(n.right, q, depth+1)
+}
+
+// Score returns the anomaly score in (0,1): s = 2^(−E[h]/c(n)).
+func (f *IsolationForest) Score(q []float64) float64 {
+	if len(f.trees) == 0 || f.cn == 0 {
+		return 0.5
+	}
+	var sum float64
+	for _, t := range f.trees {
+		sum += pathLength(t, q, 0)
+	}
+	mean := sum / float64(len(f.trees))
+	return math.Pow(2, -mean/f.cn)
+}
+
+// Predict flags anomalies (score above threshold) as the positive class.
+func (f *IsolationForest) Predict(q []float64) int {
+	if f.Score(q) > f.Threshold {
+		return 1
+	}
+	return 0
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,66 @@
+package ml
+
+import (
+	"sort"
+
+	"fexiot/internal/mat"
+)
+
+// KNN is the k-nearest-neighbours classifier of Fig. 3. Prediction is a
+// majority vote among the k closest training points by Euclidean distance,
+// with inverse-distance weighting to break ties smoothly.
+type KNN struct {
+	K int
+
+	x [][]float64
+	y []int
+}
+
+// NewKNN creates a k-NN classifier.
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+// Fit memorises the training set.
+func (c *KNN) Fit(x [][]float64, y []int) {
+	c.x = x
+	c.y = y
+}
+
+// Score returns the weighted positive-vote fraction among the k neighbours.
+func (c *KNN) Score(q []float64) float64 {
+	k := c.K
+	if k <= 0 {
+		k = 5
+	}
+	if k > len(c.x) {
+		k = len(c.x)
+	}
+	type nb struct {
+		d float64
+		y int
+	}
+	nbs := make([]nb, len(c.x))
+	for i, row := range c.x {
+		nbs[i] = nb{d: mat.Dist2(q, row), y: c.y[i]}
+	}
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i].d < nbs[j].d })
+	var pos, total float64
+	for i := 0; i < k; i++ {
+		w := 1 / (nbs[i].d + 1e-9)
+		total += w
+		if nbs[i].y == 1 {
+			pos += w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return pos / total
+}
+
+// Predict returns the majority class.
+func (c *KNN) Predict(q []float64) int {
+	if c.Score(q) >= 0.5 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+// Package rules models the smart-home automation domain: physical and
+// logical channels, the device catalog, trigger-action rules with platform-
+// specific natural-language descriptions, and the causal semantics that
+// determine when one rule's action can trigger another rule. It is the
+// generative substitute for the rule corpora the paper crawls from five IoT
+// platforms (SmartThings, Home Assistant, IFTTT, Google Assistant, Amazon
+// Alexa) — see DESIGN.md for the substitution argument.
+package rules
+
+// Channel is a physical or logical quantity that sensors observe and
+// actuators influence. Trigger-action causality flows through channels.
+type Channel int
+
+// The channels of the smart-home environment model.
+const (
+	ChanNone Channel = iota
+	ChanMotion
+	ChanSmoke
+	ChanCO
+	ChanTemperature
+	ChanHumidity
+	ChanIlluminance
+	ChanPresence
+	ChanContact // door/window open-closed state
+	ChanLeak    // water on the floor
+	ChanWaterFlow
+	ChanPower // a device's on/off state
+	ChanLockState
+	ChanSound
+	ChanEnergy
+	ChanTime   // clock triggers (sunset, sunrise, schedules)
+	ChanVoice  // voice-assistant commands
+	ChanNotify // notifications to the user
+	ChanRecord // camera recordings / spreadsheet logging
+	ChanButton // physical or app button presses
+	ChanWeather
+	numChannels
+)
+
+// String names the channel.
+func (c Channel) String() string {
+	names := [...]string{"none", "motion", "smoke", "co", "temperature",
+		"humidity", "illuminance", "presence", "contact", "leak",
+		"water_flow", "power", "lock_state", "sound", "energy", "time",
+		"voice", "notify", "record", "button", "weather"}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return "unknown"
+}
+
+// NumChannels is the channel-space size (for feature vectors).
+const NumChannels = int(numChannels)
+
+// Binary channels have two opposing states; Sign tells whether a state is
+// the "positive" pole of its channel (used to match environmental deltas to
+// sensor trigger states).
+var positiveStates = map[string]bool{
+	"on": true, "off": false,
+	"open": true, "closed": false,
+	"detected": true, "clear": false,
+	"high": true, "low": false,
+	"wet": true, "dry": false,
+	"locked": true, "unlocked": false,
+	"home": true, "away": false,
+	"bright": true, "dark": false,
+	"active": true, "inactive": false,
+	"running": true, "stopped": false,
+	"loud": true, "quiet": false,
+	"pressed": true,
+}
+
+// StateSign returns +1 for a positive-pole state, −1 for a negative-pole
+// state and 0 for states without a polarity (e.g. numeric set-points).
+func StateSign(state string) int {
+	v, ok := positiveStates[state]
+	switch {
+	case !ok:
+		return 0
+	case v:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// OppositeState returns the opposing pole of a binary state ("" when the
+// state has no opposite).
+func OppositeState(state string) string {
+	opp := map[string]string{
+		"on": "off", "off": "on",
+		"open": "closed", "closed": "open",
+		"detected": "clear", "clear": "detected",
+		"high": "low", "low": "high",
+		"wet": "dry", "dry": "wet",
+		"locked": "unlocked", "unlocked": "locked",
+		"home": "away", "away": "home",
+		"bright": "dark", "dark": "bright",
+		"active": "inactive", "inactive": "active",
+		"running": "stopped", "stopped": "running",
+		"loud": "quiet", "quiet": "loud",
+	}
+	return opp[state]
+}
+
+// EnvDelta is an environmental side effect: performing an action pushes a
+// channel up (+1) or down (−1). Example: turning a heater on pushes
+// ChanTemperature up, which can later satisfy a "temperature is high"
+// trigger.
+type EnvDelta struct {
+	Channel Channel
+	Sign    int
+}

@@ -1,0 +1,101 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Platform identifies one of the five IoT automation platforms the paper
+// crawls (§IV-A).
+type Platform int
+
+// The five evaluated platforms.
+const (
+	SmartThings Platform = iota
+	HomeAssistant
+	IFTTT
+	GoogleAssistant
+	AmazonAlexa
+	numPlatforms
+)
+
+// NumPlatforms is the platform count.
+const NumPlatforms = int(numPlatforms)
+
+// String names the platform.
+func (p Platform) String() string {
+	switch p {
+	case SmartThings:
+		return "SmartThings"
+	case HomeAssistant:
+		return "HomeAssistant"
+	case IFTTT:
+		return "IFTTT"
+	case GoogleAssistant:
+		return "GoogleAssistant"
+	case AmazonAlexa:
+		return "AmazonAlexa"
+	default:
+		return "Unknown"
+	}
+}
+
+// VoicePlatform reports whether rules on this platform are concise voice
+// commands (encoded with the sentence encoder in the paper) rather than
+// verbose descriptions (encoded with word embeddings of key phrases).
+func (p Platform) VoicePlatform() bool {
+	return p == GoogleAssistant || p == AmazonAlexa
+}
+
+// Describe renders a rule's natural-language description in the idiom of
+// its platform. The five grammars mirror how each platform phrases
+// automations: SmartThings app descriptions put the action first, Home
+// Assistant blueprints lead with the trigger, IFTTT applets use the
+// canonical If-This-Then-That shape, and the voice assistants phrase
+// routines around spoken commands.
+func Describe(p Platform, trigger Condition, actions []Effect) string {
+	act := joinActions(actions)
+	trig := trigger.ConditionPhrase()
+	switch p {
+	case SmartThings:
+		return capitalize(fmt.Sprintf("%s when %s", act, trig))
+	case HomeAssistant:
+		return capitalize(fmt.Sprintf("when %s, %s", trig, act))
+	case IFTTT:
+		return capitalize(fmt.Sprintf("if %s, then %s", trig, act))
+	case GoogleAssistant:
+		if trigger.Channel == ChanVoice {
+			return fmt.Sprintf("Hey Google, %s", act)
+		}
+		return capitalize(fmt.Sprintf("%s if %s", act, trig))
+	case AmazonAlexa:
+		if trigger.Channel == ChanVoice {
+			return fmt.Sprintf("Alexa, %s", act)
+		}
+		return capitalize(fmt.Sprintf("%s when %s", act, trig))
+	default:
+		return capitalize(fmt.Sprintf("if %s, then %s", trig, act))
+	}
+}
+
+func joinActions(actions []Effect) string {
+	parts := make([]string, len(actions))
+	for i, a := range actions {
+		parts[i] = a.ActionPhrase()
+	}
+	switch len(parts) {
+	case 0:
+		return ""
+	case 1:
+		return parts[0]
+	default:
+		return strings.Join(parts[:len(parts)-1], ", ") + " and " + parts[len(parts)-1]
+	}
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

@@ -1,0 +1,201 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Condition is the trigger side of a rule: the device/attribute/state that
+// must hold for the rule to fire. Time and voice triggers use the pseudo
+// devices "clock" and the assistant name. Room scopes the condition to a
+// device instance ("" means home-global, e.g. presence, time, voice).
+type Condition struct {
+	Device  string
+	Room    string
+	Channel Channel
+	State   string
+}
+
+// Effect is one action of a rule: the commanded device instance, the state
+// it ends up in, and the environmental side effects of executing the
+// command. Environmental deltas act within the device's room (heat from the
+// kitchen heater does not trip the bedroom thermostat).
+type Effect struct {
+	Device    string
+	Room      string
+	Verb      string
+	Channel   Channel
+	State     string
+	Env       []EnvDelta
+	Sensitive bool
+}
+
+// roomsMatch reports whether two room scopes refer to overlapping space:
+// a home-global scope ("") overlaps every room.
+func roomsMatch(a, b string) bool { return a == "" || b == "" || a == b }
+
+// Rule is a trigger-action automation rule deployed in a home.
+type Rule struct {
+	ID          string
+	Platform    Platform
+	Description string
+	Trigger     Condition
+	Actions     []Effect
+}
+
+// String renders a compact identifier.
+func (r *Rule) String() string {
+	return fmt.Sprintf("%s[%s]", r.ID, r.Platform)
+}
+
+// MatchKind classifies how an action can trigger a condition.
+type MatchKind int
+
+// The causal edge kinds of the interaction model.
+const (
+	NoMatch     MatchKind = iota
+	DirectMatch           // action sets exactly the device state the condition tests
+	EnvMatch              // action's environmental side effect satisfies the condition
+)
+
+// CanTrigger reports whether effect a can cause condition c to become true,
+// and through which mechanism. Direct matches require the same device kind,
+// channel and state. Environmental matches require an EnvDelta on the
+// condition's channel whose sign agrees with the condition state's pole.
+func CanTrigger(a Effect, c Condition) MatchKind {
+	if c.Channel == ChanNone || !roomsMatch(a.Room, c.Room) {
+		return NoMatch
+	}
+	if a.Device == c.Device && a.Channel == c.Channel && a.State == c.State {
+		return DirectMatch
+	}
+	want := StateSign(c.State)
+	if want == 0 {
+		return NoMatch
+	}
+	for _, d := range a.Env {
+		if d.Channel == c.Channel && d.Sign == want {
+			return EnvMatch
+		}
+	}
+	return NoMatch
+}
+
+// Blocks reports whether effect a makes condition c false (the mechanism
+// behind the paper's "condition block" vulnerability): the action writes
+// the opposite device state, or pushes the condition's channel away from
+// the required pole.
+func Blocks(a Effect, c Condition) bool {
+	if c.Channel == ChanNone || !roomsMatch(a.Room, c.Room) {
+		return false
+	}
+	if a.Device == c.Device && a.Channel == c.Channel &&
+		a.State == OppositeState(c.State) && a.State != "" {
+		return true
+	}
+	want := StateSign(c.State)
+	if want == 0 {
+		return false
+	}
+	for _, d := range a.Env {
+		if d.Channel == c.Channel && d.Sign == -want {
+			return true
+		}
+	}
+	return false
+}
+
+// RuleCanTrigger reports the strongest mechanism by which any action of a
+// triggers the condition of b.
+func RuleCanTrigger(a, b *Rule) MatchKind {
+	best := NoMatch
+	for _, eff := range a.Actions {
+		k := CanTrigger(eff, b.Trigger)
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+// Conflicts reports whether two effects write contradictory states to the
+// same device and channel (the "action conflict" vulnerability pattern:
+// water valve opening and closing).
+func Conflicts(a, b Effect) bool {
+	return a.Device == b.Device && a.Room == b.Room && a.Channel == b.Channel &&
+		a.State != b.State && OppositeState(a.State) == b.State
+}
+
+// Duplicates reports whether two effects from different rules perform the
+// same physical state change on the same device instance ("action
+// duplicate"). Stateless sink actions (notifications, log rows) are not
+// duplicates — repeating them is redundant but not a device-level
+// vulnerability.
+func Duplicates(a, b Effect) bool {
+	return a.Device == b.Device && a.Room == b.Room &&
+		a.Channel == b.Channel && a.State == b.State && StateSign(a.State) != 0
+}
+
+// ActionPhrase renders an effect as natural language ("turn on the kitchen
+// water valve").
+func (e Effect) ActionPhrase() string {
+	dev := e.Device
+	if e.Room != "" {
+		dev = e.Room + " " + dev
+	}
+	return fmt.Sprintf("%s the %s", e.Verb, dev)
+}
+
+// ConditionPhrase renders a condition as natural language ("motion is
+// detected", "temperature is high", "lights are on").
+func (c Condition) ConditionPhrase() string {
+	switch c.Channel {
+	case ChanTime:
+		return fmt.Sprintf("it is %s", c.State)
+	case ChanVoice:
+		return fmt.Sprintf("you say %q", c.State)
+	case ChanButton:
+		return fmt.Sprintf("the %s is pressed", c.Device)
+	}
+	dev := c.Device
+	if c.Room != "" {
+		dev = c.Room + " " + dev
+	}
+	verb := "is"
+	if strings.HasSuffix(dev, "s") {
+		verb = "are"
+	}
+	switch c.State {
+	case "detected":
+		// "smoke is detected" reads from the sensed quantity, not the
+		// sensor: motion sensor → motion.
+		return fmt.Sprintf("%s is detected%s", sensedNoun(c), roomSuffix(c.Room))
+	case "clear":
+		return fmt.Sprintf("%s is clear%s", sensedNoun(c), roomSuffix(c.Room))
+	}
+	return fmt.Sprintf("the %s %s %s", dev, verb, c.State)
+}
+
+// roomSuffix renders " in the <room>" for scoped conditions.
+func roomSuffix(room string) string {
+	if room == "" {
+		return ""
+	}
+	return " in the " + room
+}
+
+// sensedNoun maps a sensing condition to the quantity word used in prose.
+func sensedNoun(c Condition) string {
+	switch c.Channel {
+	case ChanMotion:
+		return "motion"
+	case ChanSmoke:
+		return "smoke"
+	case ChanCO:
+		return "carbon monoxide"
+	case ChanLeak:
+		return "a water leak"
+	default:
+		return c.Device
+	}
+}

@@ -1,0 +1,148 @@
+package text
+
+import "strings"
+
+// Elements are the linguistic elements §III-A1 extracts from a clause: the
+// root/main verbs, the device objects (direct objects and nominal subjects)
+// and the property words (states, levels, numbers).
+type Elements struct {
+	Verbs      []string
+	Objects    []string
+	Properties []string
+}
+
+// Clause is one side (trigger or action) of an automation rule.
+type Clause struct {
+	Text     string
+	Tokens   []Token
+	Elements Elements
+}
+
+// ParsedRule is a rule description split into its trigger and action parts.
+type ParsedRule struct {
+	Trigger Clause
+	Action  Clause
+}
+
+// Place/entity nouns eliminated during element extraction: the paper strips
+// named entities because "the same entity might modify two distinct
+// objects" (a kitchen light and a kitchen valve must not look correlated
+// just because of the room name).
+var entityNouns = set("kitchen", "bathroom", "bedroom", "living", "hallway",
+	"basement", "attic", "office", "yard", "lawn", "room", "home", "house",
+	"front", "back", "upstairs", "downstairs", "porch", "hall")
+
+// Trigger markers that introduce the condition clause of a rule.
+var triggerMarkers = []string{"as soon as", "whenever", "when", "while", "if",
+	"once", "in case", "every time", "until", "unless", "after"}
+
+// SplitClauses divides a rule sentence into (trigger, action) clause texts.
+// It recognises both "ACTION if TRIGGER" and "If TRIGGER, ACTION" /
+// "If TRIGGER then ACTION" orders. A rule with no marker (a plain voice
+// command) returns an empty trigger.
+func SplitClauses(rule string) (trigger, action string) {
+	s := strings.ToLower(strings.TrimSpace(rule))
+	for _, m := range triggerMarkers {
+		idx := markerIndex(s, m)
+		if idx < 0 {
+			continue
+		}
+		if idx == 0 {
+			rest := strings.TrimSpace(s[len(m):])
+			// Trigger runs to the first comma or a "then".
+			if cut := strings.Index(rest, ","); cut >= 0 {
+				return strings.TrimSpace(rest[:cut]), strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest[cut+1:]), "then "))
+			}
+			if cut := markerIndex(rest, "then"); cut >= 0 {
+				return strings.TrimSpace(rest[:cut]), strings.TrimSpace(rest[cut+len("then"):])
+			}
+			// No explicit boundary: treat the whole remainder as trigger
+			// with an empty action (degenerate but harmless).
+			return rest, ""
+		}
+		return strings.TrimSpace(s[idx+len(m):]), strings.TrimSpace(strings.TrimSuffix(s[:idx], ","))
+	}
+	return "", s
+}
+
+// markerIndex finds marker as a whole-word occurrence in s, or -1.
+func markerIndex(s, marker string) int {
+	from := 0
+	for {
+		i := strings.Index(s[from:], marker)
+		if i < 0 {
+			return -1
+		}
+		i += from
+		leftOK := i == 0 || !isWordByte(s[i-1])
+		r := i + len(marker)
+		rightOK := r >= len(s) || !isWordByte(s[r])
+		if leftOK && rightOK {
+			return i
+		}
+		from = i + len(marker)
+	}
+}
+
+func isWordByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}
+
+// ExtractElements pulls the verbs, objects and properties from a clause.
+func ExtractElements(tokens []Token) Elements {
+	var e Elements
+	for _, t := range tokens {
+		switch t.Tag {
+		case Verb:
+			if t.Lemma != "be" && t.Lemma != "do" && t.Lemma != "have" {
+				e.Verbs = append(e.Verbs, t.Lemma)
+			}
+		case Noun:
+			if entityNouns[t.Text] || entityNouns[t.Lemma] {
+				continue // named-entity elimination
+			}
+			if IsStopword(t.Lemma) {
+				continue
+			}
+			e.Objects = append(e.Objects, t.Lemma)
+		case Adjective:
+			e.Properties = append(e.Properties, t.Lemma)
+		case Particle:
+			if t.Text == "on" || t.Text == "off" || t.Text == "up" || t.Text == "down" {
+				e.Properties = append(e.Properties, t.Text)
+			}
+		case Number:
+			e.Properties = append(e.Properties, t.Text)
+		}
+	}
+	return e
+}
+
+// Parse splits a rule description into trigger and action clauses and
+// extracts the elements of each.
+func Parse(rule string) ParsedRule {
+	trigText, actText := SplitClauses(rule)
+	var pr ParsedRule
+	pr.Trigger = parseClause(trigText)
+	pr.Action = parseClause(actText)
+	return pr
+}
+
+func parseClause(s string) Clause {
+	toks := TagSentence(s)
+	return Clause{Text: s, Tokens: toks, Elements: ExtractElements(toks)}
+}
+
+// KeyPhrases returns the content lemmas of a sentence (verbs, objects,
+// properties of both clauses) in order, with stopwords and entities removed.
+// These feed the word-embedding encoder for node features (§IV-A).
+func KeyPhrases(rule string) []string {
+	pr := Parse(rule)
+	var out []string
+	for _, e := range []Elements{pr.Trigger.Elements, pr.Action.Elements} {
+		out = append(out, e.Verbs...)
+		out = append(out, e.Objects...)
+		out = append(out, e.Properties...)
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package text
+
+import "strings"
+
+// Tag performs part-of-speech tagging over a tokenised sentence. Evidence
+// order: number literals, closed-class word lists, the verb/noun/adjective
+// lexicons with contextual disambiguation, then suffix heuristics.
+func Tag(tokens []string) []Token {
+	out := make([]Token, len(tokens))
+	for i, w := range tokens {
+		lemma := Lemmatize(w)
+		out[i] = Token{Text: w, Lemma: lemma, Tag: tagOne(tokens, i, w, lemma)}
+	}
+	disambiguate(out)
+	return out
+}
+
+func tagOne(tokens []string, i int, w, lemma string) POS {
+	switch {
+	case IsNumeric(w):
+		return Number
+	case interjections[w]:
+		return Interjection
+	case auxiliaries[w]:
+		return Auxiliary
+	case determiners[w]:
+		return Determiner
+	case pronouns[w]:
+		return Pronoun
+	case conjunctions[w]:
+		return Conjunction
+	case particles[w]:
+		return Particle
+	case prepositions[w]:
+		return Preposition
+	case adverbLexicon[w] || adverbLexicon[lemma]:
+		return Adverb
+	case verbLexicon[lemma] && adjectiveLexicon[w]:
+		// Ambiguous forms like "open", "closed", "detected": resolved in
+		// disambiguate using left context.
+		return Verb
+	case verbLexicon[lemma] && nounLexicon[w]:
+		// e.g. "water", "lock", "alarm": default noun, promoted to verb when
+		// sentence-initial or after a conjunction.
+		return Noun
+	case verbLexicon[lemma]:
+		return Verb
+	case adjectiveLexicon[w] || adjectiveLexicon[lemma]:
+		return Adjective
+	case nounLexicon[w] || nounLexicon[lemma]:
+		return Noun
+	case strings.HasSuffix(w, "ly"):
+		return Adverb
+	case strings.HasSuffix(w, "ing") || strings.HasSuffix(w, "ed"):
+		return Verb
+	default:
+		return Noun // open-class default: unknown words are device names
+	}
+}
+
+// disambiguate applies contextual rules over the first-pass tags.
+func disambiguate(toks []Token) {
+	for i := range toks {
+		w := toks[i]
+		prev := func() *Token {
+			if i > 0 {
+				return &toks[i-1]
+			}
+			return nil
+		}()
+		next := func() *Token {
+			if i+1 < len(toks) {
+				return &toks[i+1]
+			}
+			return nil
+		}()
+
+		// "is detected", "are on", "is closed": the word after an auxiliary
+		// is predicative — keep verb-like words as verbs (passive voice) but
+		// pure state adjectives as adjectives.
+		if prev != nil && prev.Tag == Auxiliary {
+			if adjectiveLexicon[w.Text] && !strings.HasSuffix(w.Text, "ed") {
+				toks[i].Tag = Adjective
+			} else if strings.HasSuffix(w.Text, "ed") {
+				toks[i].Tag = Verb
+			}
+		}
+
+		// Sentence-initial or post-comma/conjunction noun/verb ambiguity:
+		// imperative reading makes it a verb ("lock the door", "water the
+		// lawn", "alarm beeps" keeps noun because a verb follows).
+		if w.Tag == Noun && verbLexicon[w.Lemma] {
+			imperativePosition := i == 0 ||
+				(prev != nil && (prev.Tag == Conjunction || prev.Tag == Interjection))
+			objectFollows := next != nil &&
+				(next.Tag == Determiner || next.Tag == Noun || next.Tag == Adjective ||
+					next.Tag == Pronoun || next.Tag == Number)
+			if imperativePosition && objectFollows {
+				toks[i].Tag = Verb
+			}
+		}
+
+		// Determiner + ambiguous verb → noun ("the lock", "the alarm").
+		if w.Tag == Verb && prev != nil && prev.Tag == Determiner &&
+			nounLexicon[w.Text] {
+			toks[i].Tag = Noun
+		}
+
+		// Phrasal-verb particles: "turn on the light" (verb immediately
+		// before) or "turn the lights on" (verb earlier in the clause and
+		// the particle closes it). After an auxiliary, "on"/"off" are state
+		// adjectives: "lights are on".
+		if w.Text == "on" || w.Text == "off" {
+			if prev != nil && prev.Tag == Auxiliary {
+				toks[i].Tag = Adjective
+			} else if prev != nil && prev.Tag == Verb {
+				toks[i].Tag = Particle
+			} else if (next == nil || next.Tag == Conjunction) && verbEarlier(toks, i) {
+				toks[i].Tag = Particle
+			}
+		}
+	}
+}
+
+// verbEarlier reports whether a full verb occurs in the same clause before
+// position i (clause boundary = conjunction).
+func verbEarlier(toks []Token, i int) bool {
+	for j := i - 1; j >= 0; j-- {
+		if toks[j].Tag == Conjunction {
+			return false
+		}
+		if toks[j].Tag == Verb {
+			return true
+		}
+	}
+	return false
+}
+
+// TagSentence tokenises and tags in one call.
+func TagSentence(s string) []Token { return Tag(Tokenize(s)) }

@@ -1,0 +1,222 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Turn lights on if motion is detected",
+			[]string{"turn", "lights", "on", "if", "motion", "is", "detected"}},
+		{"Set thermostat to 72.5 degrees!",
+			[]string{"set", "thermostat", "to", "72.5", "degrees"}},
+		{"living-room light", []string{"living", "room", "light"}},
+		{"", nil},
+		{"  ,,  ", nil},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	for _, ok := range []string{"5", "72.5", "100"} {
+		if !IsNumeric(ok) {
+			t.Errorf("IsNumeric(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "a1", "1.2.3", "1a"} {
+		if IsNumeric(bad) {
+			t.Errorf("IsNumeric(%q) = true", bad)
+		}
+	}
+}
+
+func TestLemmatize(t *testing.T) {
+	cases := map[string]string{
+		"detected": "detect",
+		"closes":   "close",
+		"closing":  "close",
+		"running":  "run",
+		"lights":   "light",
+		"opens":    "open",
+		"turned":   "turn",
+		"valves":   "valve",
+		"was":      "be",
+		"stopped":  "stop",
+		"switches": "switch",
+		"turn":     "turn",
+	}
+	for in, want := range cases {
+		if got := Lemmatize(in); got != want {
+			t.Errorf("Lemmatize(%q) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestTagBasicSentence(t *testing.T) {
+	toks := TagSentence("turn the lights on if motion is detected")
+	byText := map[string]POS{}
+	for _, tk := range toks {
+		byText[tk.Text] = tk.Tag
+	}
+	if byText["turn"] != Verb {
+		t.Errorf("turn tagged %v", byText["turn"])
+	}
+	if byText["lights"] != Noun {
+		t.Errorf("lights tagged %v", byText["lights"])
+	}
+	if byText["on"] != Particle {
+		t.Errorf("on tagged %v", byText["on"])
+	}
+	if byText["motion"] != Noun {
+		t.Errorf("motion tagged %v", byText["motion"])
+	}
+	if byText["detected"] != Verb {
+		t.Errorf("detected tagged %v", byText["detected"])
+	}
+	if byText["is"] != Auxiliary {
+		t.Errorf("is tagged %v", byText["is"])
+	}
+}
+
+func TestTagAmbiguity(t *testing.T) {
+	// "lock" as imperative verb vs noun after determiner.
+	toks := TagSentence("lock the door")
+	if toks[0].Tag != Verb {
+		t.Errorf("imperative lock tagged %v", toks[0].Tag)
+	}
+	toks = TagSentence("the lock is open")
+	if toks[1].Tag != Noun {
+		t.Errorf("nominal lock tagged %v", toks[1].Tag)
+	}
+	// predicative adjective after auxiliary
+	if toks[3].Tag != Adjective {
+		t.Errorf("predicative open tagged %v", toks[3].Tag)
+	}
+}
+
+func TestSplitClauses(t *testing.T) {
+	cases := []struct {
+		in        string
+		trig, act string
+	}{
+		{"Turn lights on if motion is detected",
+			"motion is detected", "turn lights on"},
+		{"If smoke is detected, turn on the water valve",
+			"smoke is detected", "turn on the water valve"},
+		{"when a water leak is detected then close the water valve",
+			"a water leak is detected", "close the water valve"},
+		{"Lock front door when living room lights are on",
+			"living room lights are on", "lock front door"},
+		{"Alexa, turn on heater", "", "alexa, turn on heater"},
+	}
+	for _, c := range cases {
+		trig, act := SplitClauses(c.in)
+		if trig != c.trig || act != c.act {
+			t.Errorf("SplitClauses(%q) = (%q,%q) want (%q,%q)",
+				c.in, trig, act, c.trig, c.act)
+		}
+	}
+}
+
+func TestParseElements(t *testing.T) {
+	pr := Parse("If smoke is detected, turn on the water valve and start alarm beeping")
+	if len(pr.Trigger.Elements.Objects) == 0 || pr.Trigger.Elements.Objects[0] != "smoke" {
+		t.Errorf("trigger objects = %v", pr.Trigger.Elements.Objects)
+	}
+	hasVerb := func(e Elements, v string) bool {
+		for _, x := range e.Verbs {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasVerb(pr.Action.Elements, "turn") || !hasVerb(pr.Action.Elements, "start") {
+		t.Errorf("action verbs = %v", pr.Action.Elements.Verbs)
+	}
+	found := false
+	for _, o := range pr.Action.Elements.Objects {
+		if o == "valve" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("action objects = %v", pr.Action.Elements.Objects)
+	}
+}
+
+func TestEntityElimination(t *testing.T) {
+	pr := Parse("turn on the kitchen light if the bedroom door opens")
+	for _, o := range pr.Action.Elements.Objects {
+		if o == "kitchen" {
+			t.Error("kitchen should be eliminated as an entity")
+		}
+	}
+	for _, o := range pr.Trigger.Elements.Objects {
+		if o == "bedroom" {
+			t.Error("bedroom should be eliminated as an entity")
+		}
+	}
+}
+
+func TestKeyPhrases(t *testing.T) {
+	kp := KeyPhrases("Close the water valve when a water leak is detected")
+	if len(kp) == 0 {
+		t.Fatal("no key phrases")
+	}
+	joined := map[string]bool{}
+	for _, k := range kp {
+		joined[k] = true
+	}
+	for _, want := range []string{"close", "valve", "leak", "detect"} {
+		if !joined[want] {
+			t.Errorf("key phrases %v missing %q", kp, want)
+		}
+	}
+	for k := range joined {
+		if IsStopword(k) {
+			t.Errorf("stopword %q leaked into key phrases", k)
+		}
+	}
+}
+
+func TestTokenizeNeverPanicsProperty(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		for _, w := range toks {
+			if w == "" {
+				return false
+			}
+		}
+		tags := Tag(toks)
+		return len(tags) == len(toks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPOSStringCoverage(t *testing.T) {
+	for p := Noun; p <= Other; p++ {
+		if p.String() == "" {
+			t.Errorf("POS %d has empty name", p)
+		}
+	}
+}
+
+func TestMarkerIndexWholeWord(t *testing.T) {
+	// "notify" contains "if" but is not a marker occurrence.
+	trig, act := SplitClauses("notify the user")
+	if trig != "" || act != "notify the user" {
+		t.Errorf("false marker split: (%q, %q)", trig, act)
+	}
+}

@@ -1,0 +1,154 @@
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single lexical unit of a rule sentence.
+type Token struct {
+	Text  string // surface form, lower-cased
+	Lemma string // dictionary form
+	Tag   POS
+}
+
+// Tokenize splits a rule sentence into lower-cased word and number tokens.
+// Punctuation separates tokens and is dropped, except that intra-word
+// hyphens and apostrophes are treated as separators too ("living-room" →
+// "living", "room") because the downstream matchers work on word unigrams.
+func Tokenize(s string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, strings.ToLower(b.String()))
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		case r == '.' && b.Len() > 0 && isDigitTail(b.String()):
+			// Keep decimal points inside numbers ("72.5").
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+func isDigitTail(s string) bool {
+	if s == "" {
+		return false
+	}
+	last := s[len(s)-1]
+	return last >= '0' && last <= '9'
+}
+
+// IsNumeric reports whether the token is a number literal.
+func IsNumeric(w string) bool {
+	if w == "" {
+		return false
+	}
+	dot := false
+	for i := 0; i < len(w); i++ {
+		c := w[i]
+		if c == '.' {
+			if dot {
+				return false
+			}
+			dot = true
+			continue
+		}
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Lemmatize maps an inflected form to its base form using irregular tables
+// plus conservative suffix stripping tuned to the rule language.
+func Lemmatize(w string) string {
+	if base, ok := irregularLemmas[w]; ok {
+		return base
+	}
+	inflected := strings.HasSuffix(w, "ed") || strings.HasSuffix(w, "ing") ||
+		strings.HasSuffix(w, "s")
+	if !inflected && (verbLexicon[w] || nounLexicon[w] || adjectiveLexicon[w]) {
+		return w
+	}
+	if verbLexicon[w] || nounLexicon[w] {
+		// Base forms that happen to end in an inflection suffix ("press",
+		// "monoxide"... actually "-s"/"-ed" lookalikes) stay as-is.
+		return w
+	}
+	// -ies → -y (dries → dry)
+	if strings.HasSuffix(w, "ies") && len(w) > 4 {
+		if cand := w[:len(w)-3] + "y"; known(cand) {
+			return cand
+		}
+	}
+	// -ing: running → run, detecting → detect, closing → close
+	if strings.HasSuffix(w, "ing") && len(w) > 5 {
+		stem := w[:len(w)-3]
+		if known(stem) {
+			return stem
+		}
+		if cand := stem + "e"; known(cand) {
+			return cand
+		}
+		if len(stem) > 2 && stem[len(stem)-1] == stem[len(stem)-2] {
+			if cand := stem[:len(stem)-1]; known(cand) {
+				return cand
+			}
+		}
+	}
+	// -ed: detected → detect, closed → close, stopped → stop
+	if strings.HasSuffix(w, "ed") && len(w) > 4 {
+		stem := w[:len(w)-2]
+		if known(stem) {
+			return stem
+		}
+		if cand := w[:len(w)-1]; known(cand) { // closed → close
+			return cand
+		}
+		if len(stem) > 2 && stem[len(stem)-1] == stem[len(stem)-2] {
+			if cand := stem[:len(stem)-1]; known(cand) {
+				return cand
+			}
+		}
+	}
+	// -es / -s plural or third person: opens → open, switches → switch
+	if strings.HasSuffix(w, "es") && len(w) > 4 {
+		if cand := w[:len(w)-2]; known(cand) {
+			return cand
+		}
+	}
+	if strings.HasSuffix(w, "s") && len(w) > 3 && !strings.HasSuffix(w, "ss") {
+		if cand := w[:len(w)-1]; known(cand) {
+			return cand
+		}
+		return w[:len(w)-1] // default plural strip
+	}
+	return w
+}
+
+func known(w string) bool {
+	return verbLexicon[w] || nounLexicon[w] || adjectiveLexicon[w] ||
+		adverbLexicon[w]
+}
+
+var irregularLemmas = map[string]string{
+	"ran": "run", "began": "begin", "left": "leave", "came": "come",
+	"went": "go", "fell": "fall", "rose": "rise", "sent": "send",
+	"shut": "shut", "lit": "light", "was": "be", "were": "be", "is": "be",
+	"are": "be", "been": "be", "being": "be", "has": "have", "had": "have",
+	"does": "do", "did": "do", "woke": "wake", "rang": "ring",
+	"lights": "light", "degrees": "degree", "minutes": "minute",
+	"seconds": "second", "hours": "hour", "windows": "window",
+	"doors": "door", "blinds": "blind", "curtains": "curtain",
+}

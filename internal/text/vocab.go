@@ -1,0 +1,161 @@
+// Package text implements the lightweight natural-language layer FexIoT
+// needs to process smart-home automation rule descriptions: tokenisation,
+// lemmatisation, part-of-speech tagging and the extraction of the linguistic
+// elements (root verbs, direct objects, nominal subjects) described in
+// §III-A1 of the paper. It plays the role spaCy plays in the original
+// system, scoped to the trigger-action rule language of IoT platforms.
+package text
+
+// POS is a coarse part-of-speech tag.
+type POS int
+
+// Coarse POS categories, modelled on the Universal POS tag set subset that
+// rule sentences actually use.
+const (
+	Noun POS = iota
+	Verb
+	Adjective
+	Adverb
+	Determiner
+	Preposition
+	Pronoun
+	Conjunction
+	Auxiliary
+	Particle
+	Number
+	Interjection
+	Other
+)
+
+// String returns the human-readable tag name.
+func (p POS) String() string {
+	switch p {
+	case Noun:
+		return "NOUN"
+	case Verb:
+		return "VERB"
+	case Adjective:
+		return "ADJ"
+	case Adverb:
+		return "ADV"
+	case Determiner:
+		return "DET"
+	case Preposition:
+		return "ADP"
+	case Pronoun:
+		return "PRON"
+	case Conjunction:
+		return "CCONJ"
+	case Auxiliary:
+		return "AUX"
+	case Particle:
+		return "PART"
+	case Number:
+		return "NUM"
+	case Interjection:
+		return "INTJ"
+	default:
+		return "X"
+	}
+}
+
+// Grammatical word lists for the smart-home rule language. These are the
+// tagger's primary evidence; suffix heuristics cover the remainder.
+var (
+	determiners = set("the", "a", "an", "this", "that", "these", "those", "my",
+		"your", "every", "each", "all", "any", "some", "no", "front", "back")
+
+	prepositions = set("in", "on", "at", "to", "from", "of", "for", "with",
+		"by", "into", "onto", "above", "below", "over", "under", "between",
+		"after", "before", "during", "near", "inside", "outside", "within")
+
+	pronouns = set("i", "you", "he", "she", "it", "we", "they", "me", "him",
+		"her", "us", "them", "someone", "anyone", "nobody", "everyone")
+
+	conjunctions = set("and", "or", "but", "nor", "so", "yet", "if", "when",
+		"while", "whenever", "then", "unless", "until", "as", "because")
+
+	auxiliaries = set("is", "are", "was", "were", "be", "been", "being", "am",
+		"has", "have", "had", "do", "does", "did", "will", "would", "shall",
+		"should", "can", "could", "may", "might", "must", "gets", "get", "got")
+
+	particles = set("not", "n't", "off", "up", "down", "out")
+
+	interjections = set("alexa", "ok", "okay", "hey", "google", "siri", "please")
+
+	// Verbs of the rule language (base forms). Inflections are resolved by
+	// the lemmatiser before lookup.
+	verbLexicon = set(
+		"turn", "switch", "activate", "deactivate", "enable", "disable",
+		"open", "close", "shut", "lock", "unlock", "start", "stop", "begin",
+		"run", "pause", "resume", "set", "adjust", "increase", "decrease",
+		"raise", "lower", "dim", "brighten", "detect", "sense", "notify",
+		"alert", "send", "record", "capture", "trigger", "arm", "disarm",
+		"ring", "beep", "sound", "play", "mute", "unmute", "heat", "cool",
+		"water", "spray", "vacuum", "clean", "brew", "wash", "dry", "charge",
+		"reboot", "restart", "connect", "disconnect", "report", "log",
+		"monitor", "check", "change", "flash", "blink", "announce", "speak",
+		"remind", "schedule", "delay", "toggle", "press", "tap", "exceed",
+		"drop", "rise", "fall", "reach", "leave", "arrive", "enter", "exit",
+		"come", "go", "stay", "move", "occur", "happen", "email", "text",
+		"call", "update", "sync", "stream", "snapshot", "add", "remove",
+		"turn_on", "turn_off", "power",
+	)
+
+	// Nouns: devices, sensors, attributes, places, things.
+	nounLexicon = set(
+		"light", "lights", "lamp", "bulb", "switch", "plug", "outlet",
+		"camera", "door", "doors", "window", "windows", "blind", "blinds",
+		"curtain", "curtains", "shade", "thermostat", "heater", "furnace",
+		"conditioner", "ac", "fan", "humidifier", "dehumidifier", "purifier",
+		"vacuum", "valve", "sprinkler", "alarm", "siren", "speaker", "tv",
+		"television", "radio", "coffee", "maker", "oven", "stove", "kettle",
+		"refrigerator", "fridge", "freezer", "washer", "dryer", "dishwasher",
+		"doorbell", "garage", "gate", "sensor", "detector", "smoke", "co",
+		"monoxide", "carbon", "motion", "temperature", "humidity", "moisture",
+		"illuminance", "luminance", "brightness", "presence", "occupancy",
+		"contact", "water", "leak", "flood", "power", "energy", "battery",
+		"level", "status", "state", "mode", "scene", "home", "house", "room",
+		"kitchen", "bathroom", "bedroom", "living", "hallway", "basement",
+		"attic", "office", "yard", "lawn", "degrees", "percent", "sunrise",
+		"sunset", "night", "morning", "evening", "noon", "midnight", "time",
+		"minutes", "seconds", "hours", "user", "phone", "notification",
+		"message", "reminder", "spreadsheet", "subscriber", "wifi", "hub",
+		"bridge", "network", "heat", "sound", "noise", "music", "volume",
+		"channel", "lock", "key", "button", "app", "skill", "routine",
+		"automation", "rule", "applet", "service", "assistant", "command",
+		"smartthings", "ifttt", "everyone", "nobody", "song", "playlist",
+		"weather", "rain", "snow", "wind", "forecast", "video", "clip",
+		"recording", "snapshot", "photo", "picture", "email", "log", "event",
+	)
+
+	adjectiveLexicon = set(
+		"on", "off", "open", "closed", "locked", "unlocked", "high", "low",
+		"hot", "cold", "warm", "cool", "wet", "dry", "dark", "bright", "dim",
+		"active", "inactive", "present", "absent", "away", "home", "empty",
+		"full", "quiet", "loud", "armed", "disarmed", "running", "stopped",
+		"detected", "cleared", "online", "offline", "connected",
+		"disconnected", "new", "last", "next", "current", "automatic",
+		"manual", "smart", "main", "double",
+	)
+
+	adverbLexicon = set("immediately", "automatically", "again", "now",
+		"soon", "later", "always", "never", "once", "twice", "slowly",
+		"quickly", "gradually", "back", "too", "also", "already", "still")
+)
+
+func set(words ...string) map[string]bool {
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return m
+}
+
+// Stopwords removed during key-phrase extraction.
+var stopwords = set("the", "a", "an", "is", "are", "was", "were", "be",
+	"been", "being", "to", "of", "and", "or", "in", "on", "at", "it", "its",
+	"my", "your", "this", "that", "there", "here", "then", "than", "please")
+
+// IsStopword reports whether the lower-cased token is a stopword.
+func IsStopword(w string) bool { return stopwords[w] }

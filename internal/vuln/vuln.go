@@ -1,0 +1,324 @@
+// Package vuln implements the interaction vulnerability model of
+// Definition 2: the six vulnerability types identified by iRuler that the
+// paper labels against (condition bypass, condition block, action revert,
+// action loop, action conflict, action duplicate), a deterministic
+// graph-analytic ground-truth labeler, and the three drifting ("novel")
+// vulnerability patterns §IV-C discovers in the unlabeled data.
+package vuln
+
+import (
+	"sort"
+
+	"fexiot/internal/graph"
+	"fexiot/internal/rules"
+)
+
+// Type is one of the interaction vulnerability types.
+type Type int
+
+// The six labelled vulnerability types (Definition 2), followed by the
+// three drifting patterns discovered in §IV-C and the external-attack tag
+// used for online graphs.
+const (
+	ConditionBypass Type = iota
+	ConditionBlock
+	ActionRevert
+	ActionLoop
+	ActionConflict
+	ActionDuplicate
+
+	// Drifting patterns (not part of the training label space).
+	DriftTimedRevert // automation action is reverted over time
+	DriftFakeCond    // another action generates fake automation conditions
+	DriftManualBlock // non-automation settings block existing actions
+	ExternalAttack   // online graph compromised by an injected attack
+	numTypes
+)
+
+// NumLabeledTypes is the count of the six trainable vulnerability types.
+const NumLabeledTypes = 6
+
+// String names the vulnerability type.
+func (t Type) String() string {
+	names := [...]string{"condition_bypass", "condition_block",
+		"action_revert", "action_loop", "action_conflict",
+		"action_duplicate", "drift_timed_revert", "drift_fake_condition",
+		"drift_manual_block", "external_attack"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return "unknown"
+}
+
+// Finding records one detected vulnerability instance and the nodes
+// involved (indices into the graph).
+type Finding struct {
+	Type  Type
+	Nodes []int
+}
+
+// Detect runs the six graph-analytic detectors over an interaction graph
+// and returns all findings, deterministically ordered by (type, nodes).
+func Detect(g *graph.Graph) []Finding {
+	var out []Finding
+	out = append(out, detectLoop(g)...)
+	out = append(out, detectPairwise(g)...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return lessIntSlice(out[i].Nodes, out[j].Nodes)
+	})
+	return out
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// detectLoop finds directed cycles ("action loop": a chain of rules that
+// re-triggers itself, like the camera on/off spreadsheet loop of Fig. 8).
+func detectLoop(g *graph.Graph) []Finding {
+	if !g.HasCycle() {
+		return nil
+	}
+	// Report the nodes on some cycle via DFS back-edge capture.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, g.N())
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cyc []int
+	var dfs func(int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, v := range g.Out(u) {
+			if color[v] == gray {
+				// Walk back from u to v collecting the cycle.
+				cyc = append(cyc, v)
+				for x := u; x != v && x != -1; x = parent[x] {
+					cyc = append(cyc, x)
+				}
+				return true
+			}
+			if color[v] == white {
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for i := 0; i < g.N(); i++ {
+		if color[i] == white && dfs(i) {
+			break
+		}
+	}
+	sort.Ints(cyc)
+	return []Finding{{Type: ActionLoop, Nodes: cyc}}
+}
+
+// revertMaxHops bounds how long a causal chain still counts as an "action
+// revert": the undoing rule must fire within a few steps of the original
+// action, mirroring HAWatcher's short-order interference semantics.
+const revertMaxHops = 2
+
+// detectPairwise scans rule pairs for the conflict, revert, duplicate,
+// bypass and block patterns. Conflict, duplicate and block require
+// *sibling activation* — the two rules fire from the same direct parent or
+// share an identical trigger condition — which is the simultaneity
+// requirement of the underlying iRuler/HAWatcher vulnerability semantics.
+func detectPairwise(g *graph.Graph) []Finding {
+	var out []Finding
+	n := g.N()
+	hasEdge := make(map[[2]int]bool, len(g.Edges))
+	inDeg := make([]int, n)
+	parents := make([][]int, n)
+	for _, e := range g.Edges {
+		hasEdge[[2]int{e.From, e.To}] = true
+		inDeg[e.To]++
+		parents[e.To] = append(parents[e.To], e.From)
+	}
+	dist := hopDistances(g)
+	siblings := func(u, v int) bool {
+		ru, rv := g.Nodes[u].Rule, g.Nodes[v].Rule
+		if ru.Trigger == rv.Trigger {
+			return true
+		}
+		for _, pu := range parents[u] {
+			for _, pv := range parents[v] {
+				if pu == pv {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for u := 0; u < n; u++ {
+		ru := g.Nodes[u].Rule
+		if ru == nil {
+			continue
+		}
+		// Condition bypass: an environmental edge into a rule whose action
+		// is security-sensitive — the trigger can be satisfied artificially
+		// rather than by the genuine environment.
+		for _, e := range g.Edges {
+			if e.From != u || e.Kind != rules.EnvMatch {
+				continue
+			}
+			rv := g.Nodes[e.To].Rule
+			if rv == nil {
+				continue
+			}
+			for _, eff := range rv.Actions {
+				if eff.Sensitive {
+					out = append(out, Finding{Type: ConditionBypass,
+						Nodes: []int{u, e.To}})
+					break
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			rv := g.Nodes[v].Rule
+			if rv == nil {
+				continue
+			}
+			// Action revert: a short downstream chain undoes the upstream
+			// action.
+			if d := dist[u][v]; d > 0 && d <= revertMaxHops {
+				if conflicting(ru, rv) {
+					out = append(out, Finding{Type: ActionRevert,
+						Nodes: []int{u, v}})
+				}
+			}
+			if u < v && siblings(u, v) && dist[u][v] < 0 && dist[v][u] < 0 {
+				// Simultaneous activation of causally unordered siblings.
+				if conflicting(ru, rv) {
+					out = append(out, Finding{Type: ActionConflict,
+						Nodes: []int{u, v}})
+				}
+				if duplicating(ru, rv) {
+					out = append(out, Finding{Type: ActionDuplicate,
+						Nodes: []int{u, v}})
+				}
+			}
+			// Condition block: a sibling's action forces v's trigger false
+			// while v is meant to fire (in-degree > 0).
+			if siblings(u, v) && !hasEdge[[2]int{u, v}] && inDeg[v] > 0 &&
+				blocksTrigger(ru, rv) {
+				out = append(out, Finding{Type: ConditionBlock,
+					Nodes: []int{u, v}})
+			}
+		}
+	}
+	return out
+}
+
+// hopDistances returns the directed BFS hop count between all node pairs
+// (-1 when unreachable; 0 on the diagonal).
+func hopDistances(g *graph.Graph) [][]int {
+	n := g.N()
+	adj := make([][]int, n)
+	for _, e := range g.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	dist := make([][]int, n)
+	for s := 0; s < n; s++ {
+		row := make([]int, n)
+		for i := range row {
+			row[i] = -1
+		}
+		row[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, next := range adj[cur] {
+				if row[next] < 0 {
+					row[next] = row[cur] + 1
+					queue = append(queue, next)
+				}
+			}
+		}
+		dist[s] = row
+	}
+	return dist
+}
+
+func conflicting(a, b *rules.Rule) bool {
+	for _, ea := range a.Actions {
+		for _, eb := range b.Actions {
+			if rules.Conflicts(ea, eb) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func duplicating(a, b *rules.Rule) bool {
+	for _, ea := range a.Actions {
+		for _, eb := range b.Actions {
+			if rules.Duplicates(ea, eb) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func blocksTrigger(a, b *rules.Rule) bool {
+	for _, ea := range a.Actions {
+		if rules.Blocks(ea, b.Trigger) {
+			return true
+		}
+	}
+	return false
+}
+
+// Label applies the detectors to g, setting Label and Tags in place, and
+// returns the findings.
+func Label(g *graph.Graph) []Finding {
+	findings := Detect(g)
+	g.Label = len(findings) > 0
+	seen := map[string]bool{}
+	g.Tags = nil
+	for _, f := range findings {
+		name := f.Type.String()
+		if !seen[name] {
+			seen[name] = true
+			g.Tags = append(g.Tags, name)
+		}
+	}
+	return findings
+}
+
+// PrimaryType returns the dominant vulnerability type of a labelled graph
+// (the first tag), or -1 for benign graphs. Used by the drift experiment to
+// colour clusters (Fig. 6).
+func PrimaryType(g *graph.Graph) Type {
+	if len(g.Tags) == 0 {
+		return -1
+	}
+	for t := Type(0); t < numTypes; t++ {
+		if g.Tags[0] == t.String() {
+			return t
+		}
+	}
+	return -1
+}

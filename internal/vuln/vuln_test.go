@@ -1,0 +1,223 @@
+package vuln
+
+import (
+	"testing"
+
+	"fexiot/internal/graph"
+	"fexiot/internal/rules"
+)
+
+func mkRule(id string, trig rules.Condition, acts ...rules.Effect) *rules.Rule {
+	return &rules.Rule{ID: id, Trigger: trig, Actions: acts,
+		Description: id, Platform: rules.IFTTT}
+}
+
+func eff(dev string, ch rules.Channel, state string, env ...rules.EnvDelta) rules.Effect {
+	return rules.Effect{Device: dev, Channel: ch, State: state, Env: env, Verb: "set"}
+}
+
+func cond(dev string, ch rules.Channel, state string) rules.Condition {
+	return rules.Condition{Device: dev, Channel: ch, State: state}
+}
+
+// buildGraph wires nodes and adds ground-truth edges.
+func buildGraph(rs ...*rules.Rule) *graph.Graph {
+	g := &graph.Graph{}
+	for _, r := range rs {
+		g.AddNode(graph.Node{Rule: r, Feature: []float64{0}})
+	}
+	for i, a := range rs {
+		for j, b := range rs {
+			if i != j {
+				if k := rules.RuleCanTrigger(a, b); k != rules.NoMatch {
+					g.AddEdge(i, j, k)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func hasType(fs []Finding, t Type) bool {
+	for _, f := range fs {
+		if f.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDetectActionLoop(t *testing.T) {
+	a := mkRule("a", cond("fan", rules.ChanPower, "running"),
+		eff("humidifier", rules.ChanPower, "on"))
+	b := mkRule("b", cond("humidifier", rules.ChanPower, "on"),
+		eff("fan", rules.ChanPower, "running"))
+	g := buildGraph(a, b)
+	fs := Detect(g)
+	if !hasType(fs, ActionLoop) {
+		t.Fatalf("loop not detected: %v", fs)
+	}
+}
+
+func TestDetectActionRevert(t *testing.T) {
+	// w turns valve on; leak rule downstream turns it off.
+	w := mkRule("w", cond("smoke detector", rules.ChanSmoke, "detected"),
+		eff("water valve", rules.ChanWaterFlow, "on", rules.EnvDelta{Channel: rules.ChanLeak, Sign: 1}))
+	a := mkRule("a", cond("leak sensor", rules.ChanLeak, "wet"),
+		eff("water valve", rules.ChanWaterFlow, "off"))
+	g := buildGraph(w, a)
+	fs := Detect(g)
+	if !hasType(fs, ActionRevert) {
+		t.Fatalf("revert not detected: %v", fs)
+	}
+	if hasType(fs, ActionConflict) {
+		t.Fatal("causally ordered opposition is a revert, not a conflict")
+	}
+}
+
+func TestDetectActionConflict(t *testing.T) {
+	w := mkRule("w", cond("motion sensor", rules.ChanMotion, "detected"),
+		eff("heater", rules.ChanPower, "on"))
+	a := mkRule("a", cond("heater", rules.ChanPower, "on"),
+		eff("fan", rules.ChanPower, "running"))
+	b := mkRule("b", cond("heater", rules.ChanPower, "on"),
+		eff("fan", rules.ChanPower, "stopped"))
+	g := buildGraph(w, a, b)
+	fs := Detect(g)
+	if !hasType(fs, ActionConflict) {
+		t.Fatalf("conflict not detected: %v", fs)
+	}
+}
+
+func TestDetectActionDuplicate(t *testing.T) {
+	w := mkRule("w", cond("motion sensor", rules.ChanMotion, "detected"),
+		eff("light", rules.ChanPower, "on"))
+	a := mkRule("a", cond("light", rules.ChanPower, "on"),
+		eff("lock", rules.ChanLockState, "locked"))
+	b := mkRule("b", cond("light", rules.ChanPower, "on"),
+		eff("lock", rules.ChanLockState, "locked"))
+	g := buildGraph(w, a, b)
+	fs := Detect(g)
+	if !hasType(fs, ActionDuplicate) {
+		t.Fatalf("duplicate not detected: %v", fs)
+	}
+}
+
+func TestDetectConditionBypass(t *testing.T) {
+	w := mkRule("w", cond("button", rules.ChanButton, "pressed"),
+		eff("heater", rules.ChanPower, "on", rules.EnvDelta{Channel: rules.ChanTemperature, Sign: 1}))
+	a := mkRule("a", cond("temperature sensor", rules.ChanTemperature, "high"),
+		rules.Effect{Device: "window", Channel: rules.ChanContact, State: "open",
+			Sensitive: true, Verb: "open"})
+	g := buildGraph(w, a)
+	fs := Detect(g)
+	if !hasType(fs, ConditionBypass) {
+		t.Fatalf("bypass not detected: %v", fs)
+	}
+}
+
+func TestBypassRequiresEnvEdgeAndSensitiveAction(t *testing.T) {
+	// Direct (non-environmental) edge into a sensitive rule: not a bypass.
+	w := mkRule("w", cond("button", rules.ChanButton, "pressed"),
+		eff("lock", rules.ChanLockState, "unlocked"))
+	a := mkRule("a", cond("lock", rules.ChanLockState, "unlocked"),
+		rules.Effect{Device: "door", Channel: rules.ChanContact, State: "open",
+			Sensitive: true, Verb: "open"})
+	if hasType(Detect(buildGraph(w, a)), ConditionBypass) {
+		t.Fatal("direct edges must not count as bypass")
+	}
+	// Environmental edge into a benign rule: not a bypass either.
+	w2 := mkRule("w2", cond("button", rules.ChanButton, "pressed"),
+		eff("heater", rules.ChanPower, "on", rules.EnvDelta{Channel: rules.ChanTemperature, Sign: 1}))
+	b := mkRule("b", cond("temperature sensor", rules.ChanTemperature, "high"),
+		eff("fan", rules.ChanPower, "running"))
+	if hasType(Detect(buildGraph(w2, b)), ConditionBypass) {
+		t.Fatal("benign actions must not count as bypass")
+	}
+}
+
+func TestDetectConditionBlock(t *testing.T) {
+	a := mkRule("a", cond("motion sensor", rules.ChanMotion, "detected"),
+		eff("heater", rules.ChanPower, "on", rules.EnvDelta{Channel: rules.ChanTemperature, Sign: 1}))
+	u := mkRule("u", cond("heater", rules.ChanPower, "on"),
+		eff("air conditioner", rules.ChanPower, "on", rules.EnvDelta{Channel: rules.ChanTemperature, Sign: -1}))
+	v := mkRule("v", cond("temperature sensor", rules.ChanTemperature, "high"),
+		eff("fan", rules.ChanPower, "running"))
+	g := buildGraph(a, u, v)
+	fs := Detect(g)
+	if !hasType(fs, ConditionBlock) {
+		t.Fatalf("block not detected: %v", fs)
+	}
+}
+
+func TestBenignGraphHasNoFindings(t *testing.T) {
+	// Simple unrelated chain: motion → light; door open → notify-ish action.
+	a := mkRule("a", cond("motion sensor", rules.ChanMotion, "detected"),
+		eff("light", rules.ChanPower, "on", rules.EnvDelta{Channel: rules.ChanIlluminance, Sign: 1}))
+	b := mkRule("b", cond("light", rules.ChanPower, "on"),
+		eff("camera", rules.ChanPower, "on"))
+	g := buildGraph(a, b)
+	if fs := Detect(g); len(fs) != 0 {
+		t.Fatalf("benign graph flagged: %v", fs)
+	}
+	Label(g)
+	if g.Label || len(g.Tags) != 0 {
+		t.Fatal("benign label wrong")
+	}
+}
+
+func TestLabelSetsTags(t *testing.T) {
+	a := mkRule("a", cond("fan", rules.ChanPower, "running"),
+		eff("humidifier", rules.ChanPower, "on"))
+	b := mkRule("b", cond("humidifier", rules.ChanPower, "on"),
+		eff("fan", rules.ChanPower, "running"))
+	g := buildGraph(a, b)
+	fs := Label(g)
+	if !g.Label || len(fs) == 0 {
+		t.Fatal("vulnerable graph not labelled")
+	}
+	if len(g.Tags) == 0 || g.Tags[0] != "action_loop" {
+		t.Fatalf("tags = %v", g.Tags)
+	}
+	if PrimaryType(g) != ActionLoop {
+		t.Fatalf("primary type = %v", PrimaryType(g))
+	}
+}
+
+func TestPrimaryTypeBenign(t *testing.T) {
+	g := &graph.Graph{}
+	if PrimaryType(g) != -1 {
+		t.Fatal("benign primary type should be -1")
+	}
+}
+
+func TestDetectDeterministicOrder(t *testing.T) {
+	w := mkRule("w", cond("motion sensor", rules.ChanMotion, "detected"),
+		eff("heater", rules.ChanPower, "on"))
+	a := mkRule("a", cond("heater", rules.ChanPower, "on"),
+		eff("fan", rules.ChanPower, "running"))
+	b := mkRule("b", cond("heater", rules.ChanPower, "on"),
+		eff("fan", rules.ChanPower, "stopped"))
+	g := buildGraph(w, a, b)
+	f1 := Detect(g)
+	f2 := Detect(g)
+	if len(f1) != len(f2) {
+		t.Fatal("nondeterministic findings")
+	}
+	for i := range f1 {
+		if f1[i].Type != f2[i].Type {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty := Type(0); ty < numTypes; ty++ {
+		if ty.String() == "unknown" || ty.String() == "" {
+			t.Errorf("type %d unnamed", ty)
+		}
+	}
+	if NumLabeledTypes != 6 {
+		t.Fatal("the paper defines six labelled types")
+	}
+}
