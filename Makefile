@@ -1,0 +1,30 @@
+# FexIoT build/test/benchmark entry points. `make check` is the CI gate:
+# build, vet, tests and the race detector must all pass.
+
+GO ?= go
+
+.PHONY: all build test race vet bench bench-matmul check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The full evaluation as benches (one run per table/figure at CI scale).
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Dense kernel serial-vs-parallel comparison (FEXIOT_PROCS to pin workers).
+bench-matmul:
+	$(GO) test -run XXX -bench 'MatMul(Serial|Parallel)' .
+
+check: build vet test race

@@ -13,11 +13,13 @@ package fexiot_test
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 
 	"fexiot"
 	"fexiot/internal/experiments"
+	"fexiot/internal/mat"
 )
 
 var printOnce sync.Map
@@ -83,6 +85,46 @@ func BenchmarkAblationBeam(b *testing.B) { runExperiment(b, "ablation-beam") }
 
 // BenchmarkAblationMAD sweeps the drift threshold T_M.
 func BenchmarkAblationMAD(b *testing.B) { runExperiment(b, "ablation-mad") }
+
+// --- Dense kernel benches (internal/mat parallel layer) --------------------
+
+// matMulSizes are the square problem sizes benchmarked serial vs parallel.
+var matMulSizes = []int{64, 256, 512, 1024}
+
+// benchMatMul times n×n·n×n MulTo at a fixed parallelism and reports
+// effective GFLOP/s.
+func benchMatMul(b *testing.B, n, procs int) {
+	old := mat.Parallelism()
+	mat.SetParallelism(procs)
+	defer mat.SetParallelism(old)
+	x, y, dst := mat.NewDense(n, n), mat.NewDense(n, n), mat.NewDense(n, n)
+	for i := range x.Data() {
+		x.Data()[i] = math.Sin(float64(i) * 0.13)
+		y.Data()[i] = math.Cos(float64(i) * 0.07)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.MulTo(dst, x, y)
+	}
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkMatMulSerial pins the kernel to one worker — the baseline the
+// ≥2× parallel speedup target in ISSUE.md is measured against.
+func BenchmarkMatMulSerial(b *testing.B) {
+	for _, n := range matMulSizes {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) { benchMatMul(b, n, 1) })
+	}
+}
+
+// BenchmarkMatMulParallel runs the same products at the configured
+// parallelism (FEXIOT_PROCS or all cores).
+func BenchmarkMatMulParallel(b *testing.B) {
+	for _, n := range matMulSizes {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) { benchMatMul(b, n, mat.Parallelism()) })
+	}
+}
 
 // --- Micro-benchmarks of the pipeline stages -------------------------------
 

@@ -23,15 +23,18 @@ func main() {
 	layers := flag.Int("layers", 4, "model layer count (must match clients)")
 	eps1 := flag.Float64("eps1", 0.6, "clustering gate ε1 (relative)")
 	eps2 := flag.Float64("eps2", 0.95, "clustering gate ε2 (relative)")
+	timeout := flag.Duration("timeout", fedproto.DefaultRoundTimeout,
+		"per-client read/write deadline per round (negative disables)")
 	flag.Parse()
 
 	srv := fedproto.NewServer(fedproto.ServerConfig{
-		Addr:      *addr,
-		Clients:   *clients,
-		Rounds:    *rounds,
-		Eps1:      *eps1,
-		Eps2:      *eps2,
-		NumLayers: *layers,
+		Addr:         *addr,
+		Clients:      *clients,
+		Rounds:       *rounds,
+		Eps1:         *eps1,
+		Eps2:         *eps2,
+		NumLayers:    *layers,
+		RoundTimeout: *timeout,
 	})
 	fmt.Printf("fexserver listening on %s for %d clients, %d rounds\n",
 		*addr, *clients, *rounds)

@@ -24,6 +24,7 @@ import (
 	"fexiot/internal/fusion"
 	"fexiot/internal/gnn"
 	"fexiot/internal/graph"
+	"fexiot/internal/mat"
 	"fexiot/internal/ml"
 	"fexiot/internal/rules"
 )
@@ -55,6 +56,10 @@ type Options struct {
 	Model string
 	// Seed makes every component deterministic.
 	Seed int64
+	// Procs bounds the parallelism of the dense kernels and training
+	// fan-outs (0 keeps the current setting: FEXIOT_PROCS or all cores).
+	// Results are bit-identical at every setting.
+	Procs int
 }
 
 func (o *Options) fill() {
@@ -91,6 +96,9 @@ type System struct {
 // New assembles a system.
 func New(opts Options) *System {
 	opts.fill()
+	if opts.Procs > 0 {
+		mat.SetParallelism(opts.Procs)
+	}
 	enc := embed.NewEncoder(opts.WordDim, opts.SentenceDim)
 	return &System{
 		opts:    opts,

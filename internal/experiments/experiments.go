@@ -9,7 +9,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"fexiot/internal/autodiff"
 	"fexiot/internal/datasets"
@@ -17,6 +16,7 @@ import (
 	"fexiot/internal/fusion"
 	"fexiot/internal/gnn"
 	"fexiot/internal/graph"
+	"fexiot/internal/mat"
 	"fexiot/internal/ml"
 )
 
@@ -108,15 +108,11 @@ func (s Setup) runFederated(algo fed.Algorithm, base gnn.Model,
 	clients := fed.NewClients(base, cd.train, s.LR)
 	res := algo.Run(clients, s.fedConfig())
 	metrics := make([]ml.Metrics, len(clients))
-	var wg sync.WaitGroup
-	for i, c := range clients {
-		wg.Add(1)
-		go func(i int, c *fed.Client) {
-			defer wg.Done()
-			metrics[i] = fed.EvaluateClient(c, cd.test[i], 3)
-		}(i, c)
-	}
-	wg.Wait()
+	// Bounded by the shared mat parallelism knob: one goroutine per client
+	// would oversubscribe the scheduler at FEXIOT_SCALE=paper client counts.
+	mat.ParallelFor(len(clients), func(i int) {
+		metrics[i] = fed.EvaluateClient(clients[i], cd.test[i], 3)
+	})
 	return metrics, res
 }
 

@@ -7,12 +7,10 @@
 package fed
 
 import (
-	"runtime"
-	"sync"
-
 	"fexiot/internal/autodiff"
 	"fexiot/internal/gnn"
 	"fexiot/internal/graph"
+	"fexiot/internal/mat"
 	"fexiot/internal/ml"
 )
 
@@ -52,20 +50,12 @@ func NewClients(base gnn.Model, datasets [][]*graph.Graph, lr float64) []*Client
 }
 
 // localTrainAll runs one round of local training on every client in
-// parallel (clients are independent during the local phase).
+// parallel (clients are independent during the local phase), bounded by
+// the shared mat parallelism knob (FEXIOT_PROCS / mat.SetParallelism).
 func localTrainAll(clients []*Client, cfg gnn.TrainConfig) {
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for _, c := range clients {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(c *Client) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			c.LocalTrain(cfg)
-		}(c)
-	}
-	wg.Wait()
+	mat.ParallelFor(len(clients), func(i int) {
+		clients[i].LocalTrain(cfg)
+	})
 }
 
 // LocalTrain runs one round of local contrastive training (line 3 of

@@ -12,6 +12,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"fexiot/internal/autodiff"
 	"fexiot/internal/mat"
@@ -141,6 +142,13 @@ func (c *Conn) Recv() (*Message, error) {
 
 // Close closes the underlying socket.
 func (c *Conn) Close() error { return c.raw.Close() }
+
+// SetReadDeadline bounds the next Recv; a zero time clears the deadline.
+// A Recv past the deadline fails with a net timeout error.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
+
+// SetWriteDeadline bounds the next Send; a zero time clears the deadline.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
 
 // Bytes reports (received, sent) byte counts.
 func (c *Conn) Bytes() (in, out int64) {

@@ -1,13 +1,20 @@
 package fedproto
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"fexiot/internal/autodiff"
 	"fexiot/internal/mat"
 )
+
+// DefaultRoundTimeout bounds each per-client read and write when
+// ServerConfig.RoundTimeout is left zero. One hung or half-closed client
+// must not deadlock the whole federation forever.
+const DefaultRoundTimeout = 2 * time.Minute
 
 // ServerConfig controls the networked aggregation server.
 type ServerConfig struct {
@@ -17,6 +24,37 @@ type ServerConfig struct {
 	Eps1      float64 // Eq. (3) gate, relative interpretation
 	Eps2      float64
 	NumLayers int
+	// RoundTimeout is the per-client read/write deadline applied to every
+	// protocol exchange (hello, per-round update receive, model send).
+	// Zero selects DefaultRoundTimeout; a negative value disables
+	// deadlines entirely (the pre-timeout behaviour).
+	RoundTimeout time.Duration
+}
+
+// roundTimeout resolves the configured deadline policy.
+func (s *Server) roundTimeout() time.Duration {
+	switch {
+	case s.cfg.RoundTimeout < 0:
+		return 0
+	case s.cfg.RoundTimeout == 0:
+		return DefaultRoundTimeout
+	default:
+		return s.cfg.RoundTimeout
+	}
+}
+
+// recvDeadline arms the read deadline on c according to the round policy.
+func (s *Server) recvDeadline(c *Conn) {
+	if d := s.roundTimeout(); d > 0 {
+		c.SetReadDeadline(time.Now().Add(d))
+	}
+}
+
+// sendDeadline arms the write deadline on c according to the round policy.
+func (s *Server) sendDeadline(c *Conn) {
+	if d := s.roundTimeout(); d > 0 {
+		c.SetWriteDeadline(time.Now().Add(d))
+	}
 }
 
 // Server aggregates client models over TCP using the layer-wise clustering
@@ -48,6 +86,7 @@ func (s *Server) Run() (int64, error) {
 			return 0, err
 		}
 		c := Wrap(raw)
+		s.recvDeadline(c)
 		hello, err := c.Recv()
 		if err != nil || hello.Kind != MsgHello {
 			raw.Close()
@@ -58,7 +97,9 @@ func (s *Server) Run() (int64, error) {
 	}
 
 	for round := 0; round < s.cfg.Rounds; round++ {
-		// Collect updates from every client.
+		// Collect updates from every client, each receive bounded by the
+		// round deadline so one hung client fails the round instead of
+		// blocking it forever.
 		s.payloads = make([][]LayerPayload, len(s.conns))
 		var wg sync.WaitGroup
 		errs := make([]error, len(s.conns))
@@ -66,6 +107,7 @@ func (s *Server) Run() (int64, error) {
 			wg.Add(1)
 			go func(i int, c *Conn) {
 				defer wg.Done()
+				s.recvDeadline(c)
 				m, err := c.Recv()
 				if err != nil {
 					errs[i] = err
@@ -79,10 +121,8 @@ func (s *Server) Run() (int64, error) {
 			}(i, c)
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return s.totalBytes(), err
-			}
+		if err := joinClientErrs(round, errs); err != nil {
+			return s.totalBytes(), err
 		}
 
 		// Layer-wise clustering aggregation, mirroring fed.FexIoT.
@@ -93,8 +133,9 @@ func (s *Server) Run() (int64, error) {
 		for i, c := range s.conns {
 			msg := &Message{Kind: MsgModel, Round: round, Final: final,
 				Layers: replies[i]}
+			s.sendDeadline(c)
 			if err := c.Send(msg); err != nil {
-				return s.totalBytes(), err
+				return s.totalBytes(), fmt.Errorf("fedproto: round %d client %d: %w", round, i, err)
 			}
 		}
 	}
@@ -272,6 +313,19 @@ func flatten(p LayerPayload) []float64 {
 		out = append(out, d...)
 	}
 	return out
+}
+
+// joinClientErrs combines every failed client's error into one, annotated
+// with round and client index, so a multi-client failure surfaces all
+// causes instead of dropping everything past the first.
+func joinClientErrs(round int, errs []error) error {
+	var out []error
+	for i, err := range errs {
+		if err != nil {
+			out = append(out, fmt.Errorf("fedproto: round %d client %d: %w", round, i, err))
+		}
+	}
+	return errors.Join(out...)
 }
 
 func indexRange(n int) []int {

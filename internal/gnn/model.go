@@ -10,6 +10,7 @@ package gnn
 import (
 	"fexiot/internal/autodiff"
 	"fexiot/internal/graph"
+	"fexiot/internal/mat"
 )
 
 // Model is a graph representation learner. Implementations must register
@@ -35,11 +36,13 @@ func Embed(m Model, g *graph.Graph) []float64 {
 	return append([]float64(nil), out.Value.Row(0)...)
 }
 
-// EmbedAll embeds a batch of graphs.
+// EmbedAll embeds a batch of graphs, fanning the independent forward
+// passes out over the shared mat worker bound (inference reads the params
+// and the mutex-guarded graph caches only, so passes are independent).
 func EmbedAll(m Model, gs []*graph.Graph) [][]float64 {
 	out := make([][]float64, len(gs))
-	for i, g := range gs {
-		out[i] = Embed(m, g)
-	}
+	mat.ParallelFor(len(gs), func(i int) {
+		out[i] = Embed(m, gs[i])
+	})
 	return out
 }

@@ -182,11 +182,10 @@ func (d *Detector) FitClassifier(graphs []*graph.Graph) {
 	if len(graphs) == 0 {
 		return
 	}
-	x := make([][]float64, len(graphs))
+	x := EmbedAll(d.Model, graphs)
 	y := make([]int, len(graphs))
 	pos := 0
 	for i, g := range graphs {
-		x[i] = Embed(d.Model, g)
 		if g.Label {
 			y[i] = 1
 			pos++
@@ -214,15 +213,18 @@ func (d *Detector) Predict(g *graph.Graph) int {
 	return 0
 }
 
-// EvaluateDetector computes detection metrics over labelled graphs.
+// EvaluateDetector computes detection metrics over labelled graphs. The
+// per-graph predictions are independent read-only passes, so they run
+// under the shared mat parallelism bound; each index owns its own output
+// slot, keeping the metrics deterministic.
 func EvaluateDetector(d *Detector, graphs []*graph.Graph) ml.Metrics {
 	pred := make([]int, len(graphs))
 	truth := make([]int, len(graphs))
-	for i, g := range graphs {
-		pred[i] = d.Predict(g)
-		if g.Label {
+	mat.ParallelFor(len(graphs), func(i int) {
+		pred[i] = d.Predict(graphs[i])
+		if graphs[i].Label {
 			truth[i] = 1
 		}
-	}
+	})
 	return ml.Evaluate(pred, truth)
 }

@@ -93,23 +93,29 @@ func (m *Dense) CopyFrom(src *Dense) {
 	copy(m.data, src.data)
 }
 
-// T returns the transpose as a newly allocated matrix.
+// T returns the transpose as a newly allocated matrix. Large transposes
+// are split into row blocks of the output and run on the worker pool.
 func (m *Dense) T() *Dense {
 	out := NewDense(m.cols, m.rows)
-	for i := 0; i < m.rows; i++ {
-		ri := m.Row(i)
-		for j, v := range ri {
-			out.data[j*m.rows+i] = v
+	parallelRows(m.cols, minBlockRows(m.rows, serialElemCutoff), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			oj := out.data[j*m.rows : (j+1)*m.rows]
+			for i := range oj {
+				oj[i] = m.data[i*m.cols+j]
+			}
 		}
-	}
+	})
 	return out
 }
 
 // Scale multiplies every element by s in place and returns m.
 func (m *Dense) Scale(s float64) *Dense {
-	for i := range m.data {
-		m.data[i] *= s
-	}
+	parallelRows(len(m.data), serialElemCutoff, func(lo, hi int) {
+		d := m.data[lo:hi]
+		for i := range d {
+			d[i] *= s
+		}
+	})
 	return m
 }
 
@@ -118,17 +124,24 @@ func (m *Dense) AddScaled(b *Dense, s float64) *Dense {
 	if m.rows != b.rows || m.cols != b.cols {
 		panic(fmt.Sprintf("mat: AddScaled %dx%d with %dx%d", m.rows, m.cols, b.rows, b.cols))
 	}
-	for i, v := range b.data {
-		m.data[i] += s * v
-	}
+	parallelRows(len(m.data), serialElemCutoff, func(lo, hi int) {
+		d, src := m.data[lo:hi], b.data[lo:hi]
+		for i, v := range src {
+			d[i] += s * v
+		}
+	})
 	return m
 }
 
-// Apply replaces each element x with f(x) in place and returns m.
+// Apply replaces each element x with f(x) in place and returns m. Large
+// matrices evaluate f concurrently from pool workers, so f must be pure.
 func (m *Dense) Apply(f func(float64) float64) *Dense {
-	for i, v := range m.data {
-		m.data[i] = f(v)
-	}
+	parallelRows(len(m.data), serialElemCutoff, func(lo, hi int) {
+		d := m.data[lo:hi]
+		for i, v := range d {
+			d[i] = f(v)
+		}
+	})
 	return m
 }
 
@@ -206,7 +219,11 @@ func Mul(a, b *Dense) *Dense {
 	return c
 }
 
-// MulTo computes dst = A·B; dst must be a.rows×b.cols and distinct from a, b.
+// MulTo computes dst = A·B; dst must be a.rows×b.cols and must not share
+// backing memory with a or b (checked, panics on aliasing). Products above
+// the serial FLOP cutoff split dst's rows across the worker pool; every
+// output row is computed by exactly one worker in serial accumulation
+// order, so the result is bit-identical at any parallelism.
 func MulTo(dst, a, b *Dense) {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul %dx%d by %dx%d", a.rows, a.cols, b.rows, b.cols))
@@ -214,11 +231,22 @@ func MulTo(dst, a, b *Dense) {
 	if dst.rows != a.rows || dst.cols != b.cols {
 		panic(fmt.Sprintf("mat: MulTo dst %dx%d want %dx%d", dst.rows, dst.cols, a.rows, b.cols))
 	}
-	dst.Zero()
-	// ikj loop order keeps the inner loop streaming over contiguous rows.
-	for i := 0; i < a.rows; i++ {
+	checkNoAlias("MulTo", dst, a, b)
+	perRow := 2 * a.cols * b.cols
+	parallelRows(a.rows, minBlockRows(perRow, serialFLOPCutoff), func(lo, hi int) {
+		mulToBlock(dst, a, b, lo, hi)
+	})
+}
+
+// mulToBlock computes rows [lo, hi) of dst = A·B. ikj loop order keeps the
+// inner loop streaming over contiguous rows.
+func mulToBlock(dst, a, b *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		ai := a.Row(i)
 		ci := dst.Row(i)
+		for j := range ci {
+			ci[j] = 0
+		}
 		for k, av := range ai {
 			if av == 0 {
 				continue
@@ -231,7 +259,8 @@ func MulTo(dst, a, b *Dense) {
 	}
 }
 
-// MulTTo computes dst = Aᵀ·B without materialising the transpose.
+// MulTTo computes dst = Aᵀ·B without materialising the transpose; dst must
+// not share backing memory with a or b (checked, panics on aliasing).
 func MulTTo(dst, a, b *Dense) {
 	if a.rows != b.rows {
 		panic(fmt.Sprintf("mat: MulT %dx%d by %dx%d", a.rows, a.cols, b.rows, b.cols))
@@ -239,6 +268,22 @@ func MulTTo(dst, a, b *Dense) {
 	if dst.rows != a.cols || dst.cols != b.cols {
 		panic(fmt.Sprintf("mat: MulTTo dst %dx%d want %dx%d", dst.rows, dst.cols, a.cols, b.cols))
 	}
+	checkNoAlias("MulTTo", dst, a, b)
+	flops := 2 * a.rows * a.cols * b.cols
+	if flops < serialFLOPCutoff || Parallelism() == 1 {
+		mulTToSerial(dst, a, b)
+		return
+	}
+	perRow := 2 * a.rows * b.cols
+	parallelRows(a.cols, minBlockRows(perRow, serialFLOPCutoff), func(lo, hi int) {
+		mulTToBlock(dst, a, b, lo, hi)
+	})
+}
+
+// mulTToSerial is the cache-friendly k-outer kernel: it streams whole rows
+// of A and B. It cannot be row-partitioned (every k touches all dst rows),
+// so the parallel path uses mulTToBlock instead.
+func mulTToSerial(dst, a, b *Dense) {
 	dst.Zero()
 	for k := 0; k < a.rows; k++ {
 		ak := a.Row(k)
@@ -255,7 +300,31 @@ func MulTTo(dst, a, b *Dense) {
 	}
 }
 
-// MulBTTo computes dst = A·Bᵀ without materialising the transpose.
+// mulTToBlock computes rows [lo, hi) of dst = Aᵀ·B. Row i of dst reads
+// column i of A; the accumulation over k runs in the same ascending order
+// as mulTToSerial (including the zero-skip), so per-element results are
+// bit-identical to the serial kernel.
+func mulTToBlock(dst, a, b *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		di := dst.Row(i)
+		for j := range di {
+			di[j] = 0
+		}
+		for k := 0; k < a.rows; k++ {
+			av := a.data[k*a.cols+i]
+			if av == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j, bv := range bk {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulBTTo computes dst = A·Bᵀ without materialising the transpose; dst
+// must not share backing memory with a or b (checked, panics on aliasing).
 func MulBTTo(dst, a, b *Dense) {
 	if a.cols != b.cols {
 		panic(fmt.Sprintf("mat: MulBT %dx%d by %dx%d", a.rows, a.cols, b.rows, b.cols))
@@ -263,7 +332,16 @@ func MulBTTo(dst, a, b *Dense) {
 	if dst.rows != a.rows || dst.cols != b.rows {
 		panic(fmt.Sprintf("mat: MulBTTo dst %dx%d want %dx%d", dst.rows, dst.cols, a.rows, b.rows))
 	}
-	for i := 0; i < a.rows; i++ {
+	checkNoAlias("MulBTTo", dst, a, b)
+	perRow := 2 * b.rows * a.cols
+	parallelRows(a.rows, minBlockRows(perRow, serialFLOPCutoff), func(lo, hi int) {
+		mulBTToBlock(dst, a, b, lo, hi)
+	})
+}
+
+// mulBTToBlock computes rows [lo, hi) of dst = A·Bᵀ.
+func mulBTToBlock(dst, a, b *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		ai := a.Row(i)
 		di := dst.Row(i)
 		for j := 0; j < b.rows; j++ {

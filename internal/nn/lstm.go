@@ -168,17 +168,23 @@ func (l *LSTM) InTopK(window []int, event int) bool {
 
 // AnomalyRate returns the fraction of (window, next) transitions of seq the
 // model finds anomalous; DeepLog flags a sequence when any transition is
-// anomalous, but the rate is a smoother detector score.
+// anomalous, but the rate is a smoother detector score. Transitions are
+// scored concurrently under the shared mat parallelism bound — each is an
+// independent read-only forward pass writing only its own flag.
 func (l *LSTM) AnomalyRate(seq []int) float64 {
-	total, anomalies := 0, 0
-	for i := 0; i+l.Window < len(seq); i++ {
-		total++
-		if !l.InTopK(seq[i:i+l.Window], seq[i+l.Window]) {
+	total := len(seq) - l.Window
+	if total <= 0 {
+		return 0
+	}
+	anomalous := make([]bool, total)
+	mat.ParallelFor(total, func(i int) {
+		anomalous[i] = !l.InTopK(seq[i:i+l.Window], seq[i+l.Window])
+	})
+	anomalies := 0
+	for _, a := range anomalous {
+		if a {
 			anomalies++
 		}
-	}
-	if total == 0 {
-		return 0
 	}
 	return float64(anomalies) / float64(total)
 }
