@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-matmul check
+.PHONY: all build test race race-fedproto vet bench bench-matmul check
 
 all: build
 
@@ -16,6 +16,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The federation protocol's concurrency paths (quorum rounds, eviction,
+# rejoin, fault injection) under the race detector, never from cache.
+race-fedproto:
+	$(GO) test -race -count=1 ./internal/fedproto/...
+
 vet:
 	$(GO) vet ./...
 
@@ -27,4 +32,4 @@ bench:
 bench-matmul:
 	$(GO) test -run XXX -bench 'MatMul(Serial|Parallel)' .
 
-check: build vet test race
+check: build vet test race race-fedproto

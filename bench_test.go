@@ -72,6 +72,10 @@ func BenchmarkFig9(b *testing.B) { runExperiment(b, "fig9") }
 // BenchmarkTableIII regenerates the runtime-efficiency table (Table III).
 func BenchmarkTableIII(b *testing.B) { runExperiment(b, "table3") }
 
+// BenchmarkChaos runs the fault-injection federation demo: a loopback
+// quorum federation that survives a hard-killed client (DESIGN.md §4.6).
+func BenchmarkChaos(b *testing.B) { runExperiment(b, "chaos") }
+
 // --- Ablation benches (DESIGN.md §4) --------------------------------------
 
 // BenchmarkAblationLayerwise contrasts layer-wise vs whole-model clustering.

@@ -1,7 +1,10 @@
 // Command fexclient runs one federated FexIoT client: it generates (or
 // would in production: loads) its local interaction-graph dataset, connects
 // to a fexserver, and participates in layer-wise clustered federated
-// training over TCP. After training it reports local detection metrics.
+// training over TCP. The session survives connection loss: it reconnects
+// with exponential backoff plus jitter and resumes at the round the server
+// announces, installing the replayed aggregated model. After training it
+// reports local detection metrics.
 //
 // Usage:
 //
@@ -11,8 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net"
 	"os"
+	"strings"
+	"time"
 
 	"fexiot/internal/autodiff"
 	"fexiot/internal/embed"
@@ -30,23 +34,42 @@ func main() {
 	nGraphs := flag.Int("graphs", 120, "local dataset size")
 	pairs := flag.Int("pairs", 150, "contrastive pairs per round")
 	seed := flag.Int64("seed", 0, "random seed (default: derived from id)")
+	backoff := flag.Duration("backoff", fedproto.DefaultInitialBackoff,
+		"initial reconnect backoff (doubles per attempt, jittered)")
+	backoffMax := flag.Duration("backoff-max", fedproto.DefaultMaxBackoff,
+		"reconnect backoff ceiling")
+	retries := flag.Int("retries", 8,
+		"consecutive failed connection attempts before giving up")
+	opTimeout := flag.Duration("op-timeout", 5*time.Minute,
+		"per-message send/receive deadline (0 disables)")
 	flag.Parse()
 	if *seed == 0 {
 		*seed = int64(*id)*7919 + 17
 	}
 
-	// Local data: a home's interaction graphs.
+	// Local data: a home's interaction graphs. A typo'd archetype silently
+	// training on the wrong distribution is exactly the kind of federation
+	// skew that is impossible to debug from the server side, so unknown
+	// names are fatal.
 	enc := embed.NewEncoder(48, 64)
 	var arch rules.Archetype
+	var names []string
 	for _, a := range rules.Archetypes() {
+		names = append(names, a.Name)
 		if a.Name == *archetype {
 			arch = a
 		}
 	}
 	if arch.Name == "" {
-		arch = rules.Archetypes()[*id%len(rules.Archetypes())]
+		fmt.Fprintf(os.Stderr, "unknown archetype %q; valid archetypes: %s\n",
+			*archetype, strings.Join(names, ", "))
+		os.Exit(2)
 	}
-	pool := fusion.MultiHomePool(*seed, 40, 25, nil)
+	// One client is one household: its rule pool comes from its own
+	// archetype, so clients with different -archetype flags really hold
+	// non-i.i.d. data (the federation setting of §IV-C).
+	gen := rules.NewGenerator(*seed, arch, fmt.Sprintf("c%d-", *id))
+	pool := gen.RuleSet(50)
 	b := fusion.NewBuilder(*seed+1, enc)
 	var local []*graph.Graph
 	for i := 0; i < *nGraphs; i++ {
@@ -61,30 +84,29 @@ func main() {
 	cfg.LR = 0.005
 	cfg.PairsPerEpoch = *pairs
 
-	raw, err := net.Dial("tcp", *addr)
+	stats, err := fedproto.RunClientSession(fedproto.ClientConfig{
+		Addr:           *addr,
+		ID:             *id,
+		DataSize:       len(train),
+		InitialBackoff: *backoff,
+		MaxBackoff:     *backoffMax,
+		MaxAttempts:    *retries,
+		OpTimeout:      *opTimeout,
+		Seed:           *seed,
+	}, model.Params(), func(round int) map[int]float64 {
+		before := model.Params().Clone()
+		cfg.Seed = *seed + int64(round)
+		gnn.TrainContrastive(model, train, cfg, opt)
+		return fedproto.LayerNorms(before, model.Params())
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dial:", err)
-		os.Exit(1)
-	}
-	conn := fedproto.Wrap(raw)
-	defer conn.Close()
-
-	err = fedproto.RunClientLoop(conn, *id, len(train), model.Params(),
-		func(round int) map[int]float64 {
-			before := model.Params().Clone()
-			cfg.Seed = *seed + int64(round)
-			gnn.TrainContrastive(model, train, cfg, opt)
-			return fedproto.LayerNorms(before, model.Params())
-		})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "client loop:", err)
+		fmt.Fprintln(os.Stderr, "client session:", err)
 		os.Exit(1)
 	}
 
 	det := gnn.NewDetector(model, 3)
 	det.FitClassifier(train)
 	m := gnn.EvaluateDetector(det, test)
-	in, out := conn.Bytes()
-	fmt.Printf("client %d done: local acc=%.3f f1=%.3f; wire in=%dB out=%dB\n",
-		*id, m.Accuracy, m.F1, in, out)
+	fmt.Printf("client %d done: local acc=%.3f f1=%.3f; wire in=%dB out=%dB reconnects=%d\n",
+		*id, m.Accuracy, m.F1, stats.InBytes, stats.OutBytes, stats.Reconnects)
 }

@@ -2,10 +2,14 @@
 // it waits for the expected number of fexclient processes, coordinates the
 // training rounds with layer-wise clustered aggregation (Algorithm 1), and
 // reports real transferred bytes — the measured counterpart of Fig. 7.
+// Rounds are quorum-based: the server closes each round once the
+// configured fraction of clients has delivered a valid update, evicts
+// clients that stay silent for consecutive rounds, and re-admits rejoining
+// clients by replaying the current aggregated model.
 //
 // Usage:
 //
-//	fexserver -addr :7070 -clients 4 -rounds 10
+//	fexserver -addr :7070 -clients 4 -rounds 10 -quorum 0.75 -strikes 3
 package main
 
 import (
@@ -18,13 +22,17 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
-	clients := flag.Int("clients", 2, "expected client count")
+	clients := flag.Int("clients", 2, "clients to wait for before round 0")
 	rounds := flag.Int("rounds", 10, "federated rounds")
 	layers := flag.Int("layers", 4, "model layer count (must match clients)")
 	eps1 := flag.Float64("eps1", 0.6, "clustering gate ε1 (relative)")
 	eps2 := flag.Float64("eps2", 0.95, "clustering gate ε2 (relative)")
 	timeout := flag.Duration("timeout", fedproto.DefaultRoundTimeout,
 		"per-client read/write deadline per round (negative disables)")
+	quorum := flag.Float64("quorum", fedproto.DefaultQuorum,
+		"fraction of admitted clients required to close a round")
+	strikes := flag.Int("strikes", fedproto.DefaultMaxStrikes,
+		"consecutive missed rounds before eviction (negative disables)")
 	flag.Parse()
 
 	srv := fedproto.NewServer(fedproto.ServerConfig{
@@ -35,14 +43,19 @@ func main() {
 		Eps2:         *eps2,
 		NumLayers:    *layers,
 		RoundTimeout: *timeout,
+		Quorum:       *quorum,
+		MaxStrikes:   *strikes,
 	})
-	fmt.Printf("fexserver listening on %s for %d clients, %d rounds\n",
-		*addr, *clients, *rounds)
+	fmt.Printf("fexserver listening on %s for %d clients, %d rounds (quorum %.2f, %d strikes)\n",
+		*addr, *clients, *rounds, *quorum, *strikes)
 	total, err := srv.Run()
+	stats := srv.Stats()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "server error:", err)
+		fmt.Fprintf(os.Stderr, "server error after %d rounds: %v\n",
+			stats.RoundsCompleted, err)
 		os.Exit(1)
 	}
-	fmt.Printf("training complete; total transferred bytes: %d (%.2f MB)\n",
+	fmt.Printf("training complete: %d rounds, %d evicted, %d rejoined; total transferred bytes: %d (%.2f MB)\n",
+		stats.RoundsCompleted, stats.Evicted, stats.Rejoined,
 		total, float64(total)/1e6)
 }

@@ -33,7 +33,7 @@ func tinySetup() Setup {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig3", "fig4", "fig5", "fig6", "table2",
-		"fig7", "fig8", "fig9", "table3", "ablation-layerwise",
+		"fig7", "fig8", "fig9", "table3", "chaos", "ablation-layerwise",
 		"ablation-contrastive", "ablation-beam", "ablation-mad"}
 	reg := Registry()
 	for _, id := range want {
@@ -147,5 +147,19 @@ func TestAblationSmokes(t *testing.T) {
 	}
 	if out := AblationContrastive(s).String(); !strings.Contains(out, "contrastive") {
 		t.Fatalf("contrastive ablation malformed:\n%s", out)
+	}
+}
+
+// TestChaosSmoke runs the fault-injection federation demo at test scale and
+// checks the invariants that must hold regardless of scheduling: the server
+// finishes every round on the surviving quorum and the killed client is
+// evicted exactly once.
+func TestChaosSmoke(t *testing.T) {
+	out := ChaosFederation(tinySetup()).String()
+	for _, want := range []string{"server", "completed", "rounds completed", "4",
+		"evicted", "1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chaos output missing %q:\n%s", want, out)
+		}
 	}
 }

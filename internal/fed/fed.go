@@ -158,21 +158,34 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
-// dataWeights returns the FedAvg weights |G_c|/|G| over a client subset.
-func dataWeights(clients []*Client, idx []int) []float64 {
+// QuorumWeights returns the FedAvg weights |G_i|/Σ|G| over the idx subset
+// of sizes; a zero total degrades to uniform weights. It is the single
+// weighting rule shared by the in-process simulator and the networked
+// fedproto server, so quorum rounds that aggregate only the surviving
+// subset of clients weight them exactly as the simulation would.
+func QuorumWeights(sizes []int, idx []int) []float64 {
 	total := 0
 	for _, i := range idx {
-		total += len(clients[i].Train)
+		total += sizes[i]
 	}
 	w := make([]float64, len(idx))
 	for k, i := range idx {
 		if total == 0 {
 			w[k] = 1 / float64(len(idx))
 		} else {
-			w[k] = float64(len(clients[i].Train)) / float64(total)
+			w[k] = float64(sizes[i]) / float64(total)
 		}
 	}
 	return w
+}
+
+// dataWeights returns the FedAvg weights |G_c|/|G| over a client subset.
+func dataWeights(clients []*Client, idx []int) []float64 {
+	sizes := make([]int, len(clients))
+	for _, i := range idx {
+		sizes[i] = len(clients[i].Train)
+	}
+	return QuorumWeights(sizes, idx)
 }
 
 // paramsOf collects the parameter sets of a client subset.

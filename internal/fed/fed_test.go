@@ -367,3 +367,37 @@ func TestSybilFilterDownweightsDuplicates(t *testing.T) {
 		t.Fatalf("weights not normalised: %v", filtered)
 	}
 }
+
+// TestQuorumWeights pins the weighting rule shared with the networked
+// fedproto server: FedAvg proportions over the surviving subset, uniform
+// degradation on zero total, and agreement with dataWeights.
+func TestQuorumWeights(t *testing.T) {
+	sizes := []int{30, 10, 0, 60}
+	w := QuorumWeights(sizes, []int{0, 1, 3})
+	want := []float64{0.3, 0.1, 0.6}
+	for k := range want {
+		if diff := w[k] - want[k]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("weight %d = %v, want %v", k, w[k], want[k])
+		}
+	}
+	// Zero total degrades to uniform.
+	u := QuorumWeights([]int{0, 0}, []int{0, 1})
+	if u[0] != 0.5 || u[1] != 0.5 {
+		t.Fatalf("zero-total weights %v, want uniform", u)
+	}
+	// dataWeights is the same rule applied to client dataset sizes.
+	gs := testGraphs(40)
+	clients := NewClients(testBase(), splitFour(gs), 0.005)
+	idx := []int{0, 2}
+	dw := dataWeights(clients, idx)
+	sz := make([]int, len(clients))
+	for _, i := range idx {
+		sz[i] = len(clients[i].Train)
+	}
+	qw := QuorumWeights(sz, idx)
+	for k := range dw {
+		if dw[k] != qw[k] {
+			t.Fatalf("dataWeights %v != QuorumWeights %v", dw, qw)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package fedproto
+
+import (
+	"testing"
+)
+
+// mkLayer builds a single-tensor layer payload around one weight vector.
+func mkLayer(layer int, data []float64, norm float64) LayerPayload {
+	return LayerPayload{Layer: layer, Names: []string{"w"},
+		Shapes: [][2]int{{1, len(data)}}, Data: [][]float64{append([]float64(nil), data...)},
+		UpdateNorm: norm}
+}
+
+// TestAggregateGateRegression pins the Eq. (3) clustering decision on
+// crafted payload splits. It is the regression test for the dead
+// weighted-mean accumulation bug: the gate now reads the FedAvg-weighted
+// mean direction (through the dispersion term) instead of computing and
+// discarding it.
+func TestAggregateGateRegression(t *testing.T) {
+	cfg := ServerConfig{NumLayers: 1, Eps1: 0.4, Eps2: 0.95}
+	sizes := []int{10, 10, 10, 10}
+
+	// Two camps pulling in opposite directions while every member still
+	// moves: dispersion around the weighted mean is maximal, so the gate
+	// must fire and the cluster must split camp-by-camp.
+	diverging := [][]LayerPayload{
+		{mkLayer(0, []float64{1, 0}, 1)},
+		{mkLayer(0, []float64{0.9, 0.1}, 1)},
+		{mkLayer(0, []float64{-1, 0}, 1)},
+		{mkLayer(0, []float64{-0.9, -0.1}, 1)},
+	}
+	agg := newRoundAgg(cfg, diverging, sizes)
+	replies := agg.run()
+	if len(agg.leaves) != 2 {
+		t.Fatalf("diverging camps: %d leaf clusters, want 2 (%v)", len(agg.leaves), agg.leaves)
+	}
+	wantLeaves := [][]int{{0, 1}, {2, 3}}
+	for k, want := range wantLeaves {
+		got := agg.leaves[k]
+		if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("leaf %d = %v, want %v", k, got, want)
+		}
+	}
+	// Each camp averages only its own members.
+	if got := replies[0][0].Data[0][0]; got != 0.95 {
+		t.Fatalf("camp A mean = %v, want 0.95", got)
+	}
+	if got := replies[2][0].Data[0][0]; got != -0.95 {
+		t.Fatalf("camp B mean = %v, want -0.95", got)
+	}
+
+	// Aligned clients: everyone moves the same way, dispersion is tiny,
+	// the gate stays shut and the whole federation averages together.
+	aligned := [][]LayerPayload{
+		{mkLayer(0, []float64{1, 0.00}, 1)},
+		{mkLayer(0, []float64{1, 0.01}, 1)},
+		{mkLayer(0, []float64{1, 0.02}, 1)},
+		{mkLayer(0, []float64{1, 0.03}, 1)},
+	}
+	agg = newRoundAgg(cfg, aligned, sizes)
+	agg.run()
+	if len(agg.leaves) != 1 || len(agg.leaves[0]) != 4 {
+		t.Fatalf("aligned clients: leaves %v, want one cluster of 4", agg.leaves)
+	}
+
+	// No movement at all (zero reported norms): the gate must not fire no
+	// matter how the weights are arranged.
+	still := [][]LayerPayload{
+		{mkLayer(0, []float64{1, 0}, 0)},
+		{mkLayer(0, []float64{-1, 0}, 0)},
+		{mkLayer(0, []float64{0, 1}, 0)},
+		{mkLayer(0, []float64{0, -1}, 0)},
+	}
+	agg = newRoundAgg(cfg, still, sizes)
+	agg.run()
+	if len(agg.leaves) != 1 {
+		t.Fatalf("stationary clients: leaves %v, want one cluster", agg.leaves)
+	}
+}
+
+// TestGlobalMeanWeighting pins the rejoin-replay model: the global mean is
+// the size-weighted average over every responder, shared with the
+// fed simulator's QuorumWeights rule.
+func TestGlobalMeanWeighting(t *testing.T) {
+	cfg := ServerConfig{NumLayers: 1}
+	payloads := [][]LayerPayload{
+		{mkLayer(0, []float64{0, 0}, 0)},
+		{mkLayer(0, []float64{4, 8}, 0)},
+	}
+	agg := newRoundAgg(cfg, payloads, []int{30, 10})
+	global := agg.globalMean()
+	if len(global) != 1 {
+		t.Fatalf("global layers %d, want 1", len(global))
+	}
+	// Weights 0.75/0.25 → 0.25·{4,8} = {1,2}.
+	if global[0].Data[0][0] != 1 || global[0].Data[0][1] != 2 {
+		t.Fatalf("global mean %v, want [1 2]", global[0].Data[0])
+	}
+}

@@ -1,0 +1,182 @@
+package fedproto
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"fexiot/internal/autodiff"
+)
+
+// Client-session backoff defaults (ClientConfig zero values).
+const (
+	DefaultInitialBackoff = 100 * time.Millisecond
+	DefaultMaxBackoff     = 5 * time.Second
+	DefaultMaxAttempts    = 5
+)
+
+// RunClientLoop drives one client over an established connection: it sends
+// hello, waits for the server's sync reply (the round to resume at plus,
+// for rejoiners, the current aggregated model), then for each round trains
+// locally via the callback, ships all layers, and installs the aggregated
+// reply. localRound must run one round of local training and return the
+// per-layer update norms. The round counter always follows the server's
+// announcements, so a client that reconnects mid-federation resumes at the
+// federation's round rather than its own.
+func RunClientLoop(conn *Conn, clientID, dataSize int,
+	params *autodiff.ParamSet,
+	localRound func(round int) map[int]float64) error {
+	if err := conn.Send(&Message{Kind: MsgHello, ClientID: clientID,
+		DataSize: dataSize}); err != nil {
+		return err
+	}
+	syncMsg, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	if syncMsg.Kind != MsgModel {
+		return fmt.Errorf("fedproto: unexpected sync kind %d", syncMsg.Kind)
+	}
+	if len(syncMsg.Layers) > 0 {
+		if err := ApplyLayers(params, syncMsg.Layers); err != nil {
+			return err
+		}
+	}
+	if syncMsg.Final {
+		return nil
+	}
+	layers := make([]int, params.NumLayers())
+	for i := range layers {
+		layers[i] = i
+	}
+	for round := syncMsg.Round; ; {
+		norms := localRound(round)
+		up := &Message{Kind: MsgUpdate, ClientID: clientID, Round: round,
+			Layers: EncodeLayers(params, layers, norms)}
+		if err := conn.Send(up); err != nil {
+			return err
+		}
+		reply, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		if reply.Kind == MsgDone {
+			return nil
+		}
+		if reply.Kind != MsgModel {
+			return fmt.Errorf("fedproto: unexpected reply kind %d", reply.Kind)
+		}
+		if err := ApplyLayers(params, reply.Layers); err != nil {
+			return err
+		}
+		if reply.Final {
+			return nil
+		}
+		round = reply.Round + 1
+	}
+}
+
+// ClientConfig shapes a reconnecting client session.
+type ClientConfig struct {
+	Addr     string
+	ID       int
+	DataSize int
+	// InitialBackoff and MaxBackoff bound the exponential reconnect
+	// backoff; every sleep is jittered by a uniform factor in [0.5, 1.5)
+	// so a restarted fleet does not reconnect in lockstep. Zero values
+	// select DefaultInitialBackoff / DefaultMaxBackoff.
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	// MaxAttempts caps consecutive failed attempts (dial errors or
+	// sessions that die before the server's sync reply) before the
+	// session gives up; zero selects DefaultMaxAttempts. An attempt that
+	// reaches the sync reply resets the count and the backoff.
+	MaxAttempts int
+	// OpTimeout bounds every Send/Recv of the session; zero disables.
+	OpTimeout time.Duration
+	// Seed drives the backoff jitter deterministically per client.
+	Seed int64
+	// Dial overrides net.Dial("tcp", addr); tests inject fault-wrapped
+	// connections here.
+	Dial func(addr string) (net.Conn, error)
+	// Sleep overrides time.Sleep in tests.
+	Sleep func(time.Duration)
+}
+
+// SessionStats summarises a client session.
+type SessionStats struct {
+	Reconnects int
+	InBytes    int64
+	OutBytes   int64
+}
+
+// RunClientSession runs RunClientLoop against cfg.Addr and survives
+// connection failure: any error short of federation completion tears the
+// connection down and reconnects with exponential backoff plus jitter,
+// resuming at the server-announced round. It returns once the server
+// declares the federation finished (a Final or MsgDone reply) or after
+// MaxAttempts consecutive attempts that made no progress.
+func RunClientSession(cfg ClientConfig, params *autodiff.ParamSet,
+	localRound func(round int) map[int]float64) (SessionStats, error) {
+	if cfg.InitialBackoff <= 0 {
+		cfg.InitialBackoff = DefaultInitialBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	dial := cfg.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed*2654435761 + int64(cfg.ID) + 1))
+
+	var stats SessionStats
+	backoff := cfg.InitialBackoff
+	attempts := 0
+	var lastErr error
+	for {
+		raw, err := dial(cfg.Addr)
+		if err != nil {
+			lastErr = err
+		} else {
+			conn := Wrap(raw)
+			if cfg.OpTimeout > 0 {
+				conn.SetOpDeadline(cfg.OpTimeout)
+			}
+			err = RunClientLoop(conn, cfg.ID, cfg.DataSize, params, localRound)
+			in, out := conn.Bytes()
+			stats.InBytes += in
+			stats.OutBytes += out
+			conn.Close()
+			if err == nil {
+				return stats, nil
+			}
+			lastErr = err
+			if in > 0 {
+				// The server's sync reply arrived, so this attempt made
+				// real progress: reset the give-up budget and the backoff.
+				attempts = 0
+				backoff = cfg.InitialBackoff
+			}
+		}
+		attempts++
+		if attempts >= cfg.MaxAttempts {
+			return stats, fmt.Errorf("fedproto: client %d: gave up after %d attempts: %w",
+				cfg.ID, attempts, lastErr)
+		}
+		stats.Reconnects++
+		sleep(time.Duration(float64(backoff) * (0.5 + rng.Float64())))
+		backoff *= 2
+		if backoff > cfg.MaxBackoff {
+			backoff = cfg.MaxBackoff
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package fedproto
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestFaultConnDelay(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	f := NewFaultConn(a)
+	f.SetDelay(50 * time.Millisecond)
+
+	go b.Write([]byte("hi"))
+	buf := make([]byte, 2)
+	start := time.Now()
+	if _, err := f.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("read returned after %v, want ≥ ~50ms delay", d)
+	}
+}
+
+func TestFaultConnDropAfter(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	f := NewFaultConn(a)
+	f.DropAfter(3)
+
+	// Reader sees exactly the 3-byte budget of a 5-byte write.
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 8)
+		n, _ := b.Read(buf)
+		got <- buf[:n]
+	}()
+	n, err := f.Write([]byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("write reported (%d, %v), want (5, nil) — the sender must not notice", n, err)
+	}
+	select {
+	case data := <-got:
+		if string(data) != "hel" {
+			t.Fatalf("peer received %q, want %q", data, "hel")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer never received the pre-budget bytes")
+	}
+
+	// The budget is spent: further writes are swallowed whole.
+	if n, err := f.Write([]byte("more")); err != nil || n != 4 {
+		t.Fatalf("blackholed write reported (%d, %v), want (4, nil)", n, err)
+	}
+	b.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 8)
+	if n, err := b.Read(buf); err == nil {
+		t.Fatalf("peer received %q after the blackhole engaged", buf[:n])
+	}
+}
+
+func TestFaultConnKill(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	f := NewFaultConn(a)
+	if f.Killed() {
+		t.Fatal("fresh conn reports killed")
+	}
+	if err := f.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Killed() {
+		t.Fatal("Kill did not mark the conn")
+	}
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("write on a killed conn succeeded")
+	}
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after hard close")
+	}
+}

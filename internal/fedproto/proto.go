@@ -112,8 +112,11 @@ type Conn struct {
 	dec *gob.Decoder
 	raw net.Conn
 
+	sendMu sync.Mutex // serialises Send: gob encoders are not goroutine-safe
+
 	mu                sync.Mutex
 	inBytes, outBytes int64
+	opDeadline        time.Duration
 }
 
 // Wrap builds a protocol connection over a raw socket.
@@ -126,10 +129,20 @@ func Wrap(c net.Conn) *Conn {
 }
 
 // Send writes one message.
-func (c *Conn) Send(m *Message) error { return c.enc.Encode(m) }
+func (c *Conn) Send(m *Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if d := c.OpDeadline(); d > 0 {
+		c.raw.SetWriteDeadline(time.Now().Add(d))
+	}
+	return c.enc.Encode(m)
+}
 
 // Recv reads one message.
 func (c *Conn) Recv() (*Message, error) {
+	if d := c.OpDeadline(); d > 0 {
+		c.raw.SetReadDeadline(time.Now().Add(d))
+	}
 	var m Message
 	if err := c.dec.Decode(&m); err != nil {
 		if err == io.EOF {
@@ -138,6 +151,22 @@ func (c *Conn) Recv() (*Message, error) {
 		return nil, err
 	}
 	return &m, nil
+}
+
+// SetOpDeadline makes every subsequent Send and Recv arm a fresh deadline
+// of d on the socket (zero disables). Client sessions use it so a server
+// that silently evicts them cannot park them in Recv forever.
+func (c *Conn) SetOpDeadline(d time.Duration) {
+	c.mu.Lock()
+	c.opDeadline = d
+	c.mu.Unlock()
+}
+
+// OpDeadline reports the per-operation deadline installed by SetOpDeadline.
+func (c *Conn) OpDeadline() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opDeadline
 }
 
 // Close closes the underlying socket.
@@ -155,6 +184,37 @@ func (c *Conn) Bytes() (in, out int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.inBytes, c.outBytes
+}
+
+// ValidateUpdate checks that a remote MsgUpdate is well-formed before any
+// payload is indexed: the right kind, exactly one payload per model layer
+// in ascending layer-id order, and internally consistent
+// names/shapes/data. Remote input that fails any check is rejected with an
+// error wrapping ErrMalformedUpdate — a short, shuffled or padded update
+// must never panic the server.
+func ValidateUpdate(m *Message, numLayers int) error {
+	if m.Kind != MsgUpdate {
+		return fmt.Errorf("%w: message kind %d, want MsgUpdate", ErrMalformedUpdate, m.Kind)
+	}
+	if len(m.Layers) != numLayers {
+		return fmt.Errorf("%w: %d layer payloads, want %d", ErrMalformedUpdate, len(m.Layers), numLayers)
+	}
+	for l, pl := range m.Layers {
+		if pl.Layer != l {
+			return fmt.Errorf("%w: payload %d carries layer id %d", ErrMalformedUpdate, l, pl.Layer)
+		}
+		if len(pl.Names) != len(pl.Shapes) || len(pl.Names) != len(pl.Data) {
+			return fmt.Errorf("%w: layer %d has %d names, %d shapes, %d tensors",
+				ErrMalformedUpdate, l, len(pl.Names), len(pl.Shapes), len(pl.Data))
+		}
+		for i, sh := range pl.Shapes {
+			if sh[0] < 0 || sh[1] < 0 || len(pl.Data[i]) != sh[0]*sh[1] {
+				return fmt.Errorf("%w: layer %d tensor %q has %d values, want %dx%d",
+					ErrMalformedUpdate, l, pl.Names[i], len(pl.Data[i]), sh[0], sh[1])
+			}
+		}
+	}
+	return nil
 }
 
 // LayerNorms computes per-layer update norms between two snapshots.

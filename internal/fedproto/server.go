@@ -3,11 +3,12 @@ package fedproto
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"time"
 
-	"fexiot/internal/autodiff"
+	"fexiot/internal/fed"
 	"fexiot/internal/mat"
 )
 
@@ -16,10 +17,27 @@ import (
 // must not deadlock the whole federation forever.
 const DefaultRoundTimeout = 2 * time.Minute
 
+// DefaultQuorum is the fraction of admitted clients whose valid updates
+// must arrive before a round closes (ServerConfig.Quorum zero value).
+const DefaultQuorum = 2.0 / 3
+
+// DefaultMaxStrikes is the number of consecutive missed rounds after which
+// a silent client is evicted (ServerConfig.MaxStrikes zero value).
+const DefaultMaxStrikes = 3
+
+// Named protocol errors. Both are produced by remote input, never a panic:
+// a malformed update evicts its sender, and a round that closes below
+// quorum fails the federation with ErrQuorumLost wrapping every per-client
+// cause.
+var (
+	ErrMalformedUpdate = errors.New("fedproto: malformed update")
+	ErrQuorumLost      = errors.New("fedproto: quorum lost")
+)
+
 // ServerConfig controls the networked aggregation server.
 type ServerConfig struct {
 	Addr      string
-	Clients   int // expected client count
+	Clients   int // clients to wait for before round 0
 	Rounds    int
 	Eps1      float64 // Eq. (3) gate, relative interpretation
 	Eps2      float64
@@ -29,6 +47,15 @@ type ServerConfig struct {
 	// Zero selects DefaultRoundTimeout; a negative value disables
 	// deadlines entirely (the pre-timeout behaviour).
 	RoundTimeout time.Duration
+	// Quorum is the fraction of the round's admitted clients whose valid
+	// updates must arrive before the deadline for the round to close; the
+	// survivors aggregate without the missing members. Zero selects
+	// DefaultQuorum; values above 1 clamp to 1 (every client required).
+	Quorum float64
+	// MaxStrikes evicts a client after this many consecutive missed
+	// rounds. Zero selects DefaultMaxStrikes; negative disables eviction,
+	// so silent clients keep costing the round deadline forever.
+	MaxStrikes int
 }
 
 // roundTimeout resolves the configured deadline policy.
@@ -41,6 +68,42 @@ func (s *Server) roundTimeout() time.Duration {
 	default:
 		return s.cfg.RoundTimeout
 	}
+}
+
+// quorumFrac resolves the configured quorum fraction.
+func (s *Server) quorumFrac() float64 {
+	switch {
+	case s.cfg.Quorum <= 0:
+		return DefaultQuorum
+	case s.cfg.Quorum > 1:
+		return 1
+	default:
+		return s.cfg.Quorum
+	}
+}
+
+// maxStrikes resolves the eviction policy (0 = never evict).
+func (s *Server) maxStrikes() int {
+	switch {
+	case s.cfg.MaxStrikes < 0:
+		return 0
+	case s.cfg.MaxStrikes == 0:
+		return DefaultMaxStrikes
+	default:
+		return s.cfg.MaxStrikes
+	}
+}
+
+// quorumCount is the number of updates required out of n admitted clients.
+func quorumCount(frac float64, n int) int {
+	need := int(math.Ceil(frac*float64(n) - 1e-9))
+	if need < 1 {
+		need = 1
+	}
+	if need > n {
+		need = n
+	}
+	return need
 }
 
 // recvDeadline arms the read deadline on c according to the round policy.
@@ -57,254 +120,537 @@ func (s *Server) sendDeadline(c *Conn) {
 	}
 }
 
+// clientState is the server's view of one (possibly reconnecting)
+// federation member, keyed by the ClientID it announced in MsgHello.
+type clientState struct {
+	id      int
+	conn    *Conn
+	size    int // |G_c| for FedAvg weighting
+	strikes int // consecutive missed rounds
+	alive   bool
+}
+
+// ServerStats summarises a federation run for logs and tests.
+type ServerStats struct {
+	RoundsCompleted int
+	Evicted         int
+	Rejoined        int
+	// Responders records how many clients contributed to each closed round.
+	Responders []int
+}
+
 // Server aggregates client models over TCP using the layer-wise clustering
-// of Algorithm 1.
+// of Algorithm 1. Rounds are quorum-based: the round closes with whichever
+// clients delivered a valid update before the deadline, provided they are
+// at least Quorum of the admitted population; clients that stay silent for
+// MaxStrikes consecutive rounds are evicted, and clients that reconnect
+// are re-admitted by replaying the current aggregated model along with the
+// round number to resume at.
 type Server struct {
 	cfg ServerConfig
 
-	mu       sync.Mutex
-	conns    []*Conn
-	sizes    []int
-	payloads [][]LayerPayload // per client, per layer
+	mu        sync.Mutex
+	cond      *sync.Cond
+	clients   []*clientState
+	round     int            // round currently being collected
+	global    []LayerPayload // last closed round's whole-federation mean
+	shapes    [][][2]int     // per layer per tensor, pinned by the first valid update
+	names     [][]string
+	retired   int64 // byte tally of replaced or closed connections
+	acceptErr error
+	closed    bool
+	stats     ServerStats
 }
 
 // NewServer creates a server.
-func NewServer(cfg ServerConfig) *Server { return &Server{cfg: cfg} }
+func NewServer(cfg ServerConfig) *Server {
+	s := &Server{cfg: cfg}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
 
-// Run listens, accepts the expected number of clients, coordinates the
+// Stats returns a snapshot of the run's fault-tolerance counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Responders = append([]int(nil), s.stats.Responders...)
+	return st
+}
+
+// Run listens, waits for the configured number of clients, coordinates the
 // rounds and returns total transferred bytes (both directions, all
-// clients).
+// clients). It keeps accepting connections for the whole run so evicted or
+// crashed clients can rejoin mid-federation.
 func (s *Server) Run() (int64, error) {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return 0, err
 	}
 	defer ln.Close()
-	for len(s.conns) < s.cfg.Clients {
-		raw, err := ln.Accept()
-		if err != nil {
-			return 0, err
-		}
-		c := Wrap(raw)
-		s.recvDeadline(c)
-		hello, err := c.Recv()
-		if err != nil || hello.Kind != MsgHello {
-			raw.Close()
-			continue
-		}
-		s.conns = append(s.conns, c)
-		s.sizes = append(s.sizes, hello.DataSize)
+	// Every return path releases every accepted socket: failed rounds must
+	// not leak fds.
+	defer s.closeAll()
+
+	go s.acceptLoop(ln)
+
+	s.mu.Lock()
+	for s.aliveCount() < s.cfg.Clients && s.acceptErr == nil {
+		s.cond.Wait()
 	}
+	if err := s.acceptErr; err != nil && s.aliveCount() < s.cfg.Clients {
+		s.mu.Unlock()
+		return s.totalBytes(), fmt.Errorf("fedproto: accept: %w", err)
+	}
+	s.mu.Unlock()
 
 	for round := 0; round < s.cfg.Rounds; round++ {
-		// Collect updates from every client, each receive bounded by the
-		// round deadline so one hung client fails the round instead of
-		// blocking it forever.
-		s.payloads = make([][]LayerPayload, len(s.conns))
-		var wg sync.WaitGroup
-		errs := make([]error, len(s.conns))
-		for i, c := range s.conns {
-			wg.Add(1)
-			go func(i int, c *Conn) {
-				defer wg.Done()
-				s.recvDeadline(c)
-				m, err := c.Recv()
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				if m.Kind != MsgUpdate {
-					errs[i] = fmt.Errorf("fedproto: unexpected message kind %d", m.Kind)
-					return
-				}
-				s.payloads[i] = m.Layers
-			}(i, c)
-		}
-		wg.Wait()
-		if err := joinClientErrs(round, errs); err != nil {
+		if err := s.runRound(round); err != nil {
 			return s.totalBytes(), err
 		}
-
-		// Layer-wise clustering aggregation, mirroring fed.FexIoT.
-		replies := make([][]LayerPayload, len(s.conns))
-		s.aggregate(0, indexRange(len(s.conns)), replies)
-
-		final := round == s.cfg.Rounds-1
-		for i, c := range s.conns {
-			msg := &Message{Kind: MsgModel, Round: round, Final: final,
-				Layers: replies[i]}
-			s.sendDeadline(c)
-			if err := c.Send(msg); err != nil {
-				return s.totalBytes(), fmt.Errorf("fedproto: round %d client %d: %w", round, i, err)
-			}
-		}
-	}
-	for _, c := range s.conns {
-		c.Close()
 	}
 	return s.totalBytes(), nil
 }
 
+// acceptLoop admits clients for the lifetime of the listener, including
+// late joiners and rejoining evictees.
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			s.acceptErr = err
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		go s.admit(raw)
+	}
+}
+
+// admit completes the hello handshake on one accepted socket, registers
+// (or re-registers) the client, and replays the current aggregated model
+// so a rejoiner resumes at the server's round instead of desyncing.
+func (s *Server) admit(raw net.Conn) {
+	c := Wrap(raw)
+	s.recvDeadline(c)
+	hello, err := c.Recv()
+	if err != nil || hello.Kind != MsgHello {
+		raw.Close()
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		raw.Close()
+		return
+	}
+	st := s.findClient(hello.ClientID)
+	if st == nil {
+		st = &clientState{id: hello.ClientID}
+		s.clients = append(s.clients, st)
+	} else {
+		// Reconnect: retire the stale socket but keep its byte tally.
+		if st.conn != nil {
+			in, out := st.conn.Bytes()
+			s.retired += in + out
+			st.conn.Close()
+		}
+		s.stats.Rejoined++
+	}
+	st.conn, st.size, st.strikes, st.alive = c, hello.DataSize, 0, true
+	// Sync reply: the round to resume at plus the current aggregated
+	// model (nil before the first round closes — fresh joiners start from
+	// their own initialisation like the in-process simulator).
+	syncMsg := &Message{Kind: MsgModel, Round: s.round, Layers: s.global}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	s.sendDeadline(c)
+	if err := c.Send(syncMsg); err != nil {
+		s.mu.Lock()
+		s.dropIfCurrent(st, c)
+		s.mu.Unlock()
+	}
+}
+
+// findClient returns the state registered for id, if any. Caller holds mu.
+func (s *Server) findClient(id int) *clientState {
+	for _, st := range s.clients {
+		if st.id == id {
+			return st
+		}
+	}
+	return nil
+}
+
+// aliveCount counts admitted, non-evicted clients. Caller holds mu.
+func (s *Server) aliveCount() int {
+	n := 0
+	for _, st := range s.clients {
+		if st.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// dropIfCurrent marks st dead if conn is still its active socket; a state
+// that rejoined on a fresh socket in the meantime is left alone. Caller
+// holds mu.
+func (s *Server) dropIfCurrent(st *clientState, conn *Conn) {
+	if st.conn != conn || !st.alive {
+		return
+	}
+	st.alive = false
+	s.stats.Evicted++
+	conn.Close()
+}
+
+// recvResult is one client's outcome for a round's collection phase.
+type recvResult struct {
+	st     *clientState
+	conn   *Conn
+	layers []LayerPayload
+	err    error
+}
+
+// runRound collects one round of updates from every live client, closes
+// the round at quorum, aggregates, and replies to the contributors.
+func (s *Server) runRound(round int) error {
+	s.mu.Lock()
+	s.round = round
+	var live []recvResult
+	for _, st := range s.clients {
+		if st.alive {
+			live = append(live, recvResult{st: st, conn: st.conn})
+		}
+	}
+	s.mu.Unlock()
+
+	// Collect updates concurrently, each receive bounded by the round
+	// deadline so one hung client costs at most the deadline, never the
+	// federation. Round numbers on updates are advisory: a client that
+	// missed the previous reply resends against a slightly stale model and
+	// the authoritative round in our reply resyncs it (bounded staleness
+	// instead of a desynced stream).
+	var wg sync.WaitGroup
+	for i := range live {
+		wg.Add(1)
+		go func(r *recvResult) {
+			defer wg.Done()
+			s.recvDeadline(r.conn)
+			m, err := r.conn.Recv()
+			if err != nil {
+				r.err = err
+				return
+			}
+			if err := ValidateUpdate(m, s.cfg.NumLayers); err != nil {
+				r.err = err
+				return
+			}
+			if err := s.checkShapes(m); err != nil {
+				r.err = err
+				return
+			}
+			r.layers = m.Layers
+		}(&live[i])
+	}
+	wg.Wait()
+
+	var responders []*clientState
+	var upd [][]LayerPayload
+	var sizes []int
+	var errs []error
+	s.mu.Lock()
+	for i := range live {
+		r := &live[i]
+		if r.err == nil {
+			responders = append(responders, r.st)
+			upd = append(upd, r.layers)
+			sizes = append(sizes, r.st.size)
+			if r.st.conn == r.conn {
+				r.st.strikes = 0
+			}
+			continue
+		}
+		errs = append(errs, fmt.Errorf("fedproto: round %d client %d: %w", round, r.st.id, r.err))
+		if r.st.conn != r.conn {
+			continue // rejoined on a fresh socket mid-round; stale error
+		}
+		var nerr net.Error
+		if errors.As(r.err, &nerr) && nerr.Timeout() {
+			// Silence: strike, evict only after MaxStrikes in a row.
+			r.st.strikes++
+			if ms := s.maxStrikes(); ms > 0 && r.st.strikes >= ms {
+				s.dropIfCurrent(r.st, r.conn)
+			}
+		} else {
+			// Broken or untrusted stream (EOF, reset, malformed update):
+			// the gob framing cannot be trusted any more, so evict now and
+			// let the client resync by reconnecting.
+			s.dropIfCurrent(r.st, r.conn)
+		}
+	}
+	s.mu.Unlock()
+
+	need := quorumCount(s.quorumFrac(), len(live))
+	if len(responders) < need {
+		errs = append([]error{fmt.Errorf("fedproto: round %d: %w (%d/%d updates, quorum %d)",
+			round, ErrQuorumLost, len(responders), len(live), need)}, errs...)
+		return errors.Join(errs...)
+	}
+
+	// Layer-wise clustering aggregation over the responders, mirroring
+	// fed.FexIoT with the same FedAvg quorum weighting.
+	agg := newRoundAgg(s.cfg, upd, sizes)
+	replies := agg.run()
+	global := agg.globalMean()
+
+	s.mu.Lock()
+	s.global = global
+	s.stats.RoundsCompleted++
+	s.stats.Responders = append(s.stats.Responders, len(responders))
+	s.mu.Unlock()
+
+	final := round == s.cfg.Rounds-1
+	for k, st := range responders {
+		msg := &Message{Kind: MsgModel, Round: round, Final: final, Layers: replies[k]}
+		s.sendDeadline(st.conn)
+		if err := st.conn.Send(msg); err != nil {
+			// A failed reply is that client's problem, not the round's: it
+			// will miss the next collection and rejoin through admit.
+			s.mu.Lock()
+			s.dropIfCurrent(st, st.conn)
+			s.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// checkShapes pins the federation's tensor layout to the first valid
+// update and rejects later updates that disagree — a mismatched payload
+// must fail with a named error before it can panic the aggregation.
+func (s *Server) checkShapes(m *Message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shapes == nil {
+		s.shapes = make([][][2]int, len(m.Layers))
+		s.names = make([][]string, len(m.Layers))
+		for l, pl := range m.Layers {
+			s.shapes[l] = append([][2]int(nil), pl.Shapes...)
+			s.names[l] = append([]string(nil), pl.Names...)
+		}
+		return nil
+	}
+	for l, pl := range m.Layers {
+		if len(pl.Names) != len(s.names[l]) {
+			return fmt.Errorf("%w: layer %d has %d tensors, federation uses %d",
+				ErrMalformedUpdate, l, len(pl.Names), len(s.names[l]))
+		}
+		for i := range pl.Names {
+			if pl.Names[i] != s.names[l][i] || pl.Shapes[i] != s.shapes[l][i] {
+				return fmt.Errorf("%w: layer %d tensor %d is %s%v, federation uses %s%v",
+					ErrMalformedUpdate, l, i, pl.Names[i], pl.Shapes[i],
+					s.names[l][i], s.shapes[l][i])
+			}
+		}
+	}
+	return nil
+}
+
+// closeAll releases every accepted socket and stops further admissions.
+func (s *Server) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for _, st := range s.clients {
+		if st.conn != nil {
+			st.conn.Close()
+		}
+	}
+}
+
+func (s *Server) totalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := s.retired
+	for _, st := range s.clients {
+		if st.conn != nil {
+			in, out := st.conn.Bytes()
+			total += in + out
+		}
+	}
+	return total
+}
+
+// --- Round aggregation -------------------------------------------------------
+
+// roundAgg runs one round of the layer-wise clustering aggregation
+// (Algorithm 1) over the validated updates of the round's responders. It
+// is connection-free so tests can pin clustering decisions on crafted
+// payloads.
+type roundAgg struct {
+	cfg      ServerConfig
+	payloads [][]LayerPayload // [responder][layer]
+	sizes    []int
+	flats    map[[2]int][]float64 // (responder, layer) → flattened weights
+	leaves   [][]int              // bottom-layer clusters (diagnostics/tests)
+}
+
+func newRoundAgg(cfg ServerConfig, payloads [][]LayerPayload, sizes []int) *roundAgg {
+	return &roundAgg{cfg: cfg, payloads: payloads, sizes: sizes,
+		flats: map[[2]int][]float64{}}
+}
+
+// run aggregates every layer and returns one reply (all layers) per
+// responder.
+func (a *roundAgg) run() [][]LayerPayload {
+	replies := make([][]LayerPayload, len(a.payloads))
+	a.aggregate(0, indexRange(len(a.payloads)), replies)
+	return replies
+}
+
+// globalMean is the whole-population weighted mean of every layer — the
+// model replayed to (re)joining clients so they resync with the
+// federation regardless of which cluster they will land in.
+func (a *roundAgg) globalMean() []LayerPayload {
+	all := indexRange(len(a.payloads))
+	out := make([]LayerPayload, 0, a.cfg.NumLayers)
+	for l := 0; l < a.cfg.NumLayers; l++ {
+		out = append(out, a.average(all, l))
+	}
+	return out
+}
+
+// flat memoises the flattened layer weights of one responder.
+func (a *roundAgg) flat(i, layer int) []float64 {
+	key := [2]int{i, layer}
+	if f, ok := a.flats[key]; ok {
+		return f
+	}
+	f := flatten(a.payloads[i][layer])
+	a.flats[key] = f
+	return f
+}
+
 // aggregate recursively clusters and averages one layer, then descends.
-func (s *Server) aggregate(layer int, cluster []int, replies [][]LayerPayload) {
-	if layer >= s.cfg.NumLayers {
+func (a *roundAgg) aggregate(layer int, cluster []int, replies [][]LayerPayload) {
+	if layer >= a.cfg.NumLayers {
+		a.leaves = append(a.leaves, cluster)
 		return
 	}
 	// Gate: relative Eq. (3) over the clients' reported update norms and
-	// the mean payload direction.
+	// the FedAvg-weighted mean direction. The server has no previous
+	// weights, so the dispersion of the current weights around their
+	// weighted mean stands in for update-direction disagreement:
+	// ‖Σ w ΔW‖ ≈ avg‖ΔW‖·(1 − dispersion).
 	split := false
 	if len(cluster) >= 2 {
-		var norms []float64
-		var mean []float64
-		w := s.weights(cluster)
-		for k, i := range cluster {
-			flat := flatten(s.payloads[i][layer])
-			norms = append(norms, s.payloads[i][layer].UpdateNorm)
-			if mean == nil {
-				mean = make([]float64, len(flat))
-			}
-			mat.Axpy(mean, flat, w[k])
-			_ = k
-		}
-		avg := 0.0
-		maxN := 0.0
-		for _, n := range norms {
+		avg, maxN := 0.0, 0.0
+		for _, i := range cluster {
+			n := a.payloads[i][layer].UpdateNorm
 			avg += n
 			if n > maxN {
 				maxN = n
 			}
 		}
-		avg /= float64(len(norms))
-		// Weight-space dispersion: mean cosine distance to the average.
+		avg /= float64(len(cluster))
 		if avg > 0 {
-			split = dispersion(s, cluster, layer) > 0 &&
-				maxN > s.cfg.Eps2*avg && meanUpdateNorm(s, cluster, layer) < s.cfg.Eps1*avg
+			disp := a.dispersion(cluster, layer)
+			split = disp > 0 &&
+				maxN > a.cfg.Eps2*avg && avg*(1-disp) < a.cfg.Eps1*avg
 		}
 	}
 	if split {
-		c1, c2 := s.binaryCluster(cluster, layer)
+		c1, c2 := a.binaryCluster(cluster, layer)
 		if len(c2) > 0 {
-			s.averageInto(c1, layer, replies)
-			s.averageInto(c2, layer, replies)
-			s.aggregate(layer+1, c1, replies)
-			s.aggregate(layer+1, c2, replies)
+			a.averageInto(c1, layer, replies)
+			a.averageInto(c2, layer, replies)
+			a.aggregate(layer+1, c1, replies)
+			a.aggregate(layer+1, c2, replies)
 			return
 		}
 	}
-	s.averageInto(cluster, layer, replies)
-	s.aggregate(layer+1, cluster, replies)
+	a.averageInto(cluster, layer, replies)
+	a.aggregate(layer+1, cluster, replies)
 }
 
-// meanUpdateNorm approximates ‖Σ w ΔW‖ from reported norms and weight
-// dispersion; without previous weights on the server, the dispersion of the
-// current weights stands in for update-direction disagreement.
-func meanUpdateNorm(s *Server, cluster []int, layer int) float64 {
-	// Served conservatively: scale the average reported norm by the weight
-	// agreement (1 − dispersion).
-	var avg float64
-	for _, i := range cluster {
-		avg += s.payloads[i][layer].UpdateNorm
-	}
-	avg /= float64(len(cluster))
-	return avg * (1 - dispersion(s, cluster, layer))
-}
-
-// dispersion is the mean (1 − cosine) between members' layer weights and
-// the cluster mean.
-func dispersion(s *Server, cluster []int, layer int) float64 {
+// dispersion is the weighted-mean cosine disagreement of the cluster: the
+// mean (1 − cosine) between each member's layer weights and the
+// FedAvg-weighted cluster mean.
+func (a *roundAgg) dispersion(cluster []int, layer int) float64 {
+	w := fed.QuorumWeights(a.sizes, cluster)
 	var mean []float64
-	flats := make([][]float64, len(cluster))
 	for k, i := range cluster {
-		flats[k] = flatten(s.payloads[i][layer])
+		f := a.flat(i, layer)
 		if mean == nil {
-			mean = make([]float64, len(flats[k]))
+			mean = make([]float64, len(f))
 		}
-		mat.Axpy(mean, flats[k], 1/float64(len(cluster)))
+		mat.Axpy(mean, f, w[k])
 	}
 	var d float64
-	for _, f := range flats {
-		d += 1 - mat.CosineSimilarity(f, mean)
+	for _, i := range cluster {
+		d += 1 - mat.CosineSimilarity(a.flat(i, layer), mean)
 	}
 	return d / float64(len(cluster))
 }
 
 // binaryCluster splits by cosine similarity of layer weights.
-func (s *Server) binaryCluster(cluster []int, layer int) ([]int, []int) {
-	flats := map[int][]float64{}
-	for _, i := range cluster {
-		flats[i] = flatten(s.payloads[i][layer])
-	}
+func (a *roundAgg) binaryCluster(cluster []int, layer int) ([]int, []int) {
 	seedA, seedB := cluster[0], cluster[1]
 	worst := 2.0
 	for x := 0; x < len(cluster); x++ {
 		for y := x + 1; y < len(cluster); y++ {
-			sim := mat.CosineSimilarity(flats[cluster[x]], flats[cluster[y]])
+			sim := mat.CosineSimilarity(a.flat(cluster[x], layer), a.flat(cluster[y], layer))
 			if sim < worst {
 				worst = sim
 				seedA, seedB = cluster[x], cluster[y]
 			}
 		}
 	}
-	var a, b []int
+	var c1, c2 []int
 	for _, i := range cluster {
-		if mat.CosineSimilarity(flats[i], flats[seedA]) >=
-			mat.CosineSimilarity(flats[i], flats[seedB]) {
-			a = append(a, i)
+		if mat.CosineSimilarity(a.flat(i, layer), a.flat(seedA, layer)) >=
+			mat.CosineSimilarity(a.flat(i, layer), a.flat(seedB, layer)) {
+			c1 = append(c1, i)
 		} else {
-			b = append(b, i)
+			c2 = append(c2, i)
 		}
 	}
 	// Match the in-process semantics: singleton clusters fragment the
 	// federation, so keep the cluster whole instead.
-	if len(a) < 2 || len(b) < 2 {
+	if len(c1) < 2 || len(c2) < 2 {
 		return cluster, nil
 	}
-	return a, b
+	return c1, c2
 }
 
-// averageInto writes the weighted layer mean into every member's reply.
-func (s *Server) averageInto(cluster []int, layer int, replies [][]LayerPayload) {
-	if len(cluster) == 0 {
-		return
-	}
-	w := s.weights(cluster)
-	tmpl := s.payloads[cluster[0]][layer]
+// average returns the weighted layer mean of a cluster.
+func (a *roundAgg) average(cluster []int, layer int) LayerPayload {
+	w := fed.QuorumWeights(a.sizes, cluster)
+	tmpl := a.payloads[cluster[0]][layer]
 	avg := LayerPayload{Layer: tmpl.Layer, Names: tmpl.Names, Shapes: tmpl.Shapes}
 	for di := range tmpl.Data {
 		sum := make([]float64, len(tmpl.Data[di]))
 		for k, i := range cluster {
-			mat.Axpy(sum, s.payloads[i][layer].Data[di], w[k])
+			mat.Axpy(sum, a.payloads[i][layer].Data[di], w[k])
 		}
 		avg.Data = append(avg.Data, sum)
 	}
+	return avg
+}
+
+// averageInto writes the weighted layer mean into every member's reply.
+func (a *roundAgg) averageInto(cluster []int, layer int, replies [][]LayerPayload) {
+	if len(cluster) == 0 {
+		return
+	}
+	avg := a.average(cluster, layer)
 	for _, i := range cluster {
 		replies[i] = append(replies[i], avg)
 	}
-}
-
-func (s *Server) weights(cluster []int) []float64 {
-	total := 0
-	for _, i := range cluster {
-		total += s.sizes[i]
-	}
-	w := make([]float64, len(cluster))
-	for k, i := range cluster {
-		if total == 0 {
-			w[k] = 1 / float64(len(cluster))
-		} else {
-			w[k] = float64(s.sizes[i]) / float64(total)
-		}
-	}
-	return w
-}
-
-func (s *Server) totalBytes() int64 {
-	var total int64
-	for _, c := range s.conns {
-		in, out := c.Bytes()
-		total += in + out
-	}
-	return total
 }
 
 func flatten(p LayerPayload) []float64 {
@@ -315,64 +661,10 @@ func flatten(p LayerPayload) []float64 {
 	return out
 }
 
-// joinClientErrs combines every failed client's error into one, annotated
-// with round and client index, so a multi-client failure surfaces all
-// causes instead of dropping everything past the first.
-func joinClientErrs(round int, errs []error) error {
-	var out []error
-	for i, err := range errs {
-		if err != nil {
-			out = append(out, fmt.Errorf("fedproto: round %d client %d: %w", round, i, err))
-		}
-	}
-	return errors.Join(out...)
-}
-
 func indexRange(n int) []int {
 	out := make([]int, n)
 	for i := range out {
 		out[i] = i
 	}
 	return out
-}
-
-// RunClientLoop drives one client over an established connection: it sends
-// hello, then for each round trains locally via the callback, ships all
-// layers, and installs the aggregated reply. localRound must run one round
-// of local training and return the per-layer update norms.
-func RunClientLoop(conn *Conn, clientID, dataSize int,
-	params *autodiff.ParamSet,
-	localRound func(round int) map[int]float64) error {
-	if err := conn.Send(&Message{Kind: MsgHello, ClientID: clientID,
-		DataSize: dataSize}); err != nil {
-		return err
-	}
-	layers := make([]int, params.NumLayers())
-	for i := range layers {
-		layers[i] = i
-	}
-	for round := 0; ; round++ {
-		norms := localRound(round)
-		up := &Message{Kind: MsgUpdate, ClientID: clientID, Round: round,
-			Layers: EncodeLayers(params, layers, norms)}
-		if err := conn.Send(up); err != nil {
-			return err
-		}
-		reply, err := conn.Recv()
-		if err != nil {
-			return err
-		}
-		if reply.Kind == MsgDone {
-			return nil
-		}
-		if reply.Kind != MsgModel {
-			return fmt.Errorf("fedproto: unexpected reply kind %d", reply.Kind)
-		}
-		if err := ApplyLayers(params, reply.Layers); err != nil {
-			return err
-		}
-		if reply.Final {
-			return nil
-		}
-	}
 }
