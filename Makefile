@@ -2,8 +2,10 @@
 # build, vet, tests and the race detector must all pass.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test race race-fedproto vet bench bench-matmul check
+.PHONY: all build test race race-fedproto race-fed vet bench bench-matmul \
+	bench-agg poison-smoke fuzz check
 
 all: build
 
@@ -17,9 +19,14 @@ race:
 	$(GO) test -race ./...
 
 # The federation protocol's concurrency paths (quorum rounds, eviction,
-# rejoin, fault injection) under the race detector, never from cache.
+# rejoin, fault injection, crash/restart recovery) under the race detector,
+# never from cache.
 race-fedproto:
 	$(GO) test -race -count=1 ./internal/fedproto/...
+
+# The robust-aggregation and Byzantine-attack paths under the race detector.
+race-fed:
+	$(GO) test -race -count=1 ./internal/fed/...
 
 vet:
 	$(GO) vet ./...
@@ -32,4 +39,19 @@ bench:
 bench-matmul:
 	$(GO) test -run XXX -bench 'MatMul(Serial|Parallel)' .
 
-check: build vet test race race-fedproto
+# Aggregation-rule throughput: FedAvg vs trimmed/median/norm-clip/Krum.
+bench-agg:
+	$(GO) test -run XXX -bench 'Aggregators' .
+
+# The pinned poisoning acceptance scenario, never from cache: 8 clients,
+# 2 Byzantine, robust aggregators must hold F1 while FedAvg degrades.
+poison-smoke:
+	$(GO) test -count=1 -run TestPoisonRobustnessPinned ./internal/experiments/
+
+# Wire-protocol fuzzers (gob decode must error, never panic). FUZZTIME
+# bounds each target; raise it for long local runs.
+fuzz:
+	$(GO) test -fuzz FuzzDecodeUpdate -fuzztime $(FUZZTIME) ./internal/fedproto/
+	$(GO) test -fuzz FuzzDecodeHello -fuzztime $(FUZZTIME) ./internal/fedproto/
+
+check: build vet test race race-fedproto race-fed poison-smoke

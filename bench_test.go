@@ -19,6 +19,7 @@ import (
 
 	"fexiot"
 	"fexiot/internal/experiments"
+	"fexiot/internal/fed"
 	"fexiot/internal/mat"
 )
 
@@ -76,6 +77,10 @@ func BenchmarkTableIII(b *testing.B) { runExperiment(b, "table3") }
 // quorum federation that survives a hard-killed client (DESIGN.md §4.6).
 func BenchmarkChaos(b *testing.B) { runExperiment(b, "chaos") }
 
+// BenchmarkPoison runs the Byzantine-robustness sweep: 8 clients, 2
+// attackers, detector F1 per attack × aggregator (DESIGN.md §4.7).
+func BenchmarkPoison(b *testing.B) { runExperiment(b, "poison") }
+
 // --- Ablation benches (DESIGN.md §4) --------------------------------------
 
 // BenchmarkAblationLayerwise contrasts layer-wise vs whole-model clustering.
@@ -127,6 +132,42 @@ func BenchmarkMatMulSerial(b *testing.B) {
 func BenchmarkMatMulParallel(b *testing.B) {
 	for _, n := range matMulSizes {
 		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) { benchMatMul(b, n, mat.Parallelism()) })
+	}
+}
+
+// --- Robust aggregation benches (internal/fed) -----------------------------
+
+// benchAggregator times one rule over a 16-client federation with a 64k-
+// coordinate layer and reports aggregated coordinates per second — the
+// GFLOP-style throughput number that makes the robustness tax comparable
+// across rules (sorting for trimmed/median, O(n²) distances for Krum).
+func benchAggregator(b *testing.B, agg fed.Aggregator) {
+	const nClients, dim = 16, 1 << 16
+	vecs := make([][]float64, nClients)
+	w := make([]float64, nClients)
+	for i := range vecs {
+		w[i] = 1 / float64(nClients)
+		vecs[i] = make([]float64, dim)
+		for j := range vecs[i] {
+			vecs[i][j] = math.Sin(float64(i*dim+j) * 0.37)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.Aggregate(vecs, w)
+	}
+	coords := float64(nClients) * float64(dim)
+	b.ReportMetric(coords*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gcoord/s")
+}
+
+// BenchmarkAggregators compares the aggregation rules' throughput: FedAvg's
+// weighted mean vs the robust alternatives.
+func BenchmarkAggregators(b *testing.B) {
+	for _, agg := range []fed.Aggregator{
+		fed.MeanAgg{}, fed.TrimmedMeanAgg{}, fed.MedianAgg{},
+		fed.NormClipAgg{}, fed.KrumAgg{M: 1}, fed.KrumAgg{},
+	} {
+		b.Run(agg.Name(), func(b *testing.B) { benchAggregator(b, agg) })
 	}
 }
 

@@ -6,6 +6,11 @@
 // announces, installing the replayed aggregated model. After training it
 // reports local detection metrics.
 //
+// For robustness testing, -attack turns the client Byzantine: it runs the
+// honest protocol but poisons what the server sees (label-flip, sign-flip,
+// scale, nan, replay) — the adversary the server's -agg defences are
+// measured against.
+//
 // Usage:
 //
 //	fexclient -addr localhost:7070 -id 0 -archetype security -graphs 120
@@ -20,6 +25,7 @@ import (
 
 	"fexiot/internal/autodiff"
 	"fexiot/internal/embed"
+	"fexiot/internal/fed"
 	"fexiot/internal/fedproto"
 	"fexiot/internal/fusion"
 	"fexiot/internal/gnn"
@@ -42,9 +48,17 @@ func main() {
 		"consecutive failed connection attempts before giving up")
 	opTimeout := flag.Duration("op-timeout", 5*time.Minute,
 		"per-message send/receive deadline (0 disables)")
+	attackName := flag.String("attack", "",
+		"run as a Byzantine client: "+strings.Join(fed.AttackNames(), ", ")+
+			" (empty = honest; for robustness testing)")
 	flag.Parse()
 	if *seed == 0 {
 		*seed = int64(*id)*7919 + 17
+	}
+	attack, err := fed.NewAttack(*attackName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	// Local data: a home's interaction graphs. A typo'd archetype silently
@@ -77,6 +91,13 @@ func main() {
 	}
 	cut := len(local) * 8 / 10
 	train, test := local[:cut], local[cut:]
+	if _, ok := attack.(fed.LabelFlip); ok {
+		// Data poisoning happens before any training: the client optimises
+		// honestly on dishonestly labelled graphs.
+		for _, g := range train {
+			g.Label = !g.Label
+		}
+	}
 
 	model := gnn.NewGIN(fusion.WordFeatureDim(enc), 24, 16, 100)
 	opt := autodiff.NewAdam(0.005)
@@ -97,6 +118,9 @@ func main() {
 		before := model.Params().Clone()
 		cfg.Seed = *seed + int64(round)
 		gnn.TrainContrastive(model, train, cfg, opt)
+		// Model-poisoning attacks corrupt the round's update after honest
+		// local training, exactly like the in-process simulator's hook.
+		fed.CorruptUpdate(attack, before, model.Params())
 		return fedproto.LayerNorms(before, model.Params())
 	})
 	if err != nil {

@@ -5,18 +5,26 @@
 // Rounds are quorum-based: the server closes each round once the
 // configured fraction of clients has delivered a valid update, evicts
 // clients that stay silent for consecutive rounds, and re-admits rejoining
-// clients by replaying the current aggregated model.
+// clients by replaying the current aggregated model. -agg selects a
+// Byzantine-robust aggregation rule (trimmed mean, median, norm-clipped
+// mean, Krum) in place of the plain FedAvg mean, and -checkpoint makes the
+// server durable: it snapshots the federation state every
+// -checkpoint-every closed rounds and resumes from the latest snapshot
+// after a crash.
 //
 // Usage:
 //
-//	fexserver -addr :7070 -clients 4 -rounds 10 -quorum 0.75 -strikes 3
+//	fexserver -addr :7070 -clients 4 -rounds 10 -quorum 0.75 -strikes 3 \
+//	    -agg trimmed -checkpoint /tmp/fex.ckpt -checkpoint-every 2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"fexiot/internal/fed"
 	"fexiot/internal/fedproto"
 )
 
@@ -33,21 +41,39 @@ func main() {
 		"fraction of admitted clients required to close a round")
 	strikes := flag.Int("strikes", fedproto.DefaultMaxStrikes,
 		"consecutive missed rounds before eviction (negative disables)")
+	aggName := flag.String("agg", "fedavg",
+		"aggregation rule: "+strings.Join(fed.AggregatorNames(), ", "))
+	checkpoint := flag.String("checkpoint", "",
+		"checkpoint file; resumes from it when present (empty disables)")
+	checkpointEvery := flag.Int("checkpoint-every", 1,
+		"snapshot cadence in closed rounds")
 	flag.Parse()
 
+	agg, err := fed.NewAggregator(*aggName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	srv := fedproto.NewServer(fedproto.ServerConfig{
-		Addr:         *addr,
-		Clients:      *clients,
-		Rounds:       *rounds,
-		Eps1:         *eps1,
-		Eps2:         *eps2,
-		NumLayers:    *layers,
-		RoundTimeout: *timeout,
-		Quorum:       *quorum,
-		MaxStrikes:   *strikes,
+		Addr:            *addr,
+		Clients:         *clients,
+		Rounds:          *rounds,
+		Eps1:            *eps1,
+		Eps2:            *eps2,
+		NumLayers:       *layers,
+		RoundTimeout:    *timeout,
+		Quorum:          *quorum,
+		MaxStrikes:      *strikes,
+		Aggregator:      agg,
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *checkpointEvery,
 	})
-	fmt.Printf("fexserver listening on %s for %d clients, %d rounds (quorum %.2f, %d strikes)\n",
-		*addr, *clients, *rounds, *quorum, *strikes)
+	fmt.Printf("fexserver listening on %s for %d clients, %d rounds (quorum %.2f, %d strikes, %s aggregation)\n",
+		*addr, *clients, *rounds, *quorum, *strikes, agg.Name())
+	if *checkpoint != "" {
+		fmt.Printf("checkpointing every %d round(s) to %s\n", *checkpointEvery, *checkpoint)
+	}
 	total, err := srv.Run()
 	stats := srv.Stats()
 	if err != nil {

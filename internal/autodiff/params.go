@@ -140,6 +140,38 @@ func (p *ParamSet) Flatten() []float64 {
 	return out
 }
 
+// SetFlattenLayer writes a flat vector back into the layer-l parameters —
+// the inverse of FlattenLayer, used by robust aggregators that operate on
+// flattened coordinates.
+func (p *ParamSet) SetFlattenLayer(l int, v []float64) {
+	off := 0
+	for _, n := range p.names {
+		if p.layerOf[n] != l {
+			continue
+		}
+		d := p.vals[n].Data()
+		copy(d, v[off:off+len(d)])
+		off += len(d)
+	}
+	if off != len(v) {
+		panic(fmt.Sprintf("autodiff: SetFlattenLayer got %d values, layer %d holds %d", len(v), l, off))
+	}
+}
+
+// SetFlatten writes a flat vector back into all parameters — the inverse of
+// Flatten.
+func (p *ParamSet) SetFlatten(v []float64) {
+	off := 0
+	for _, n := range p.names {
+		d := p.vals[n].Data()
+		copy(d, v[off:off+len(d)])
+		off += len(d)
+	}
+	if off != len(v) {
+		panic(fmt.Sprintf("autodiff: SetFlatten got %d values, set holds %d", len(v), off))
+	}
+}
+
 // Sub returns the element-wise difference p − q as flat-layer vectors are
 // needed; it produces a new ParamSet with the same structure.
 func (p *ParamSet) Sub(q *ParamSet) *ParamSet {

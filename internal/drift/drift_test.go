@@ -202,6 +202,35 @@ func TestTSNEDegenerateInputs(t *testing.T) {
 	}
 }
 
+// TestTSNEDuplicatePointsFinite is the zero-variance regression test: with
+// every input row identical the perplexity search has no distance scale, so
+// the affinities must fall back to the uniform distribution and the
+// embedding stay finite — also when only part of the data is duplicated.
+func TestTSNEDuplicatePointsFinite(t *testing.T) {
+	ts := NewTSNE()
+	ts.Iters = 50
+	allSame := make([][]float64, 12)
+	for i := range allSame {
+		allSame[i] = []float64{1.5, -2, 0.25}
+	}
+	for name, x := range map[string][][]float64{
+		"all-duplicates": allSame,
+		"partial-duplicates": append(append([][]float64{}, allSame[:6]...),
+			[][]float64{{0, 0, 0}, {1, 1, 1}, {2, 0, 1}, {0, 2, 1}, {3, 3, 0}, {4, 0, 4}}...),
+	} {
+		emb := ts.Embed(x)
+		if len(emb) != len(x) {
+			t.Fatalf("%s: embedding count %d, want %d", name, len(emb), len(x))
+		}
+		for i, p := range emb {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) ||
+				math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+				t.Fatalf("%s: point %d embedded non-finite: %v", name, i, p)
+			}
+		}
+	}
+}
+
 func TestFitValidationPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -54,6 +54,25 @@ func (t *TSNE) Embed(x [][]float64) [][]float64 {
 	target := math.Log(perp)
 	for i := 0; i < n; i++ {
 		p[i] = make([]float64, n)
+		// Zero-variance guard: when every neighbour of i is a duplicate
+		// (all pairwise distances zero) the entropy is the same constant for
+		// every beta, so the search below can never converge and its clamped
+		// ratios degrade into 0/0. The limiting affinity distribution is
+		// uniform over the neighbours; return it directly.
+		zeroVar := true
+		for j := 0; j < n && zeroVar; j++ {
+			if j != i && d2[i][j] != 0 {
+				zeroVar = false
+			}
+		}
+		if zeroVar {
+			for j := 0; j < n; j++ {
+				if j != i {
+					p[i][j] = 1 / float64(n-1)
+				}
+			}
+			continue
+		}
 		lo, hi := 1e-10, 1e10
 		beta := 1.0
 		for it := 0; it < 50; it++ {

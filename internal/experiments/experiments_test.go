@@ -33,7 +33,7 @@ func tinySetup() Setup {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig3", "fig4", "fig5", "fig6", "table2",
-		"fig7", "fig8", "fig9", "table3", "chaos", "ablation-layerwise",
+		"fig7", "fig8", "fig9", "table3", "chaos", "poison", "ablation-layerwise",
 		"ablation-contrastive", "ablation-beam", "ablation-mad"}
 	reg := Registry()
 	for _, id := range want {
@@ -147,6 +147,45 @@ func TestAblationSmokes(t *testing.T) {
 	}
 	if out := AblationContrastive(s).String(); !strings.Contains(out, "contrastive") {
 		t.Fatalf("contrastive ablation malformed:\n%s", out)
+	}
+}
+
+// TestPoisonRobustnessPinned pins the acceptance bar of the robustness PR:
+// with 8 clients of which 2 run the scale-10× attack, trimmed mean, median
+// and Krum hold honest-client F1 within 5 points of their own attack-free
+// baseline, while plain FedAvg degrades measurably. Sign-flip is tabled as
+// the documented limitation — flipped near-zero coordinates hide inside the
+// honest update variance, so every aggregator (robust or not) slows down
+// about equally; the pinned bar for it is only "no collapse".
+func TestPoisonRobustnessPinned(t *testing.T) {
+	s := tinySetup()
+	// 8-way splits of the tiny dataset leave 2-3 test graphs per client —
+	// F1 would be split noise. Give the poisoning scenario enough labelled
+	// graphs and training for stable per-client baselines (clean FedAvg
+	// lands near 0.64 here; everything is seeded, so reruns reproduce it).
+	s.Scale.IFTTTLabeled = 360
+	s.Scale.IFTTTVulnerable = 110
+	s.Hidden = 16
+	s.EmbedDim = 8
+	s.Rounds = 8
+	s.PairsPerRound = 120
+	tbl, res := PoisonSweep(s, []string{"none", "sign-flip", "scale"},
+		[]string{"fedavg", "trimmed", "median", "krum"}, 8, 2)
+	t.Logf("\n%s", tbl.String())
+	for _, agg := range []string{"trimmed", "median", "krum"} {
+		clean := res.Cell("none", agg)
+		if got := res.Cell("scale", agg); got < clean-0.05 {
+			t.Errorf("%s under scale-10: F1 %.3f dropped more than 5 points below clean %.3f",
+				agg, got, clean)
+		}
+		if got := res.Cell("sign-flip", agg); got < 0.25 {
+			t.Errorf("%s under sign-flip collapsed: F1 %.3f", agg, got)
+		}
+	}
+	clean := res.Cell("none", "fedavg")
+	if got := res.Cell("scale", "fedavg"); got > clean-0.10 {
+		t.Errorf("fedavg under scale-10: F1 %.3f should degrade measurably below clean %.3f",
+			got, clean)
 	}
 }
 

@@ -64,7 +64,8 @@ func Registry() map[string]Runner {
 		"fig9":   func(s Setup) string { return FigureIX(s, 0).String() },
 		"table3": func(s Setup) string { return TableIII(s).String() },
 
-		"chaos": func(s Setup) string { return ChaosFederation(s).String() },
+		"chaos":  func(s Setup) string { return ChaosFederation(s).String() },
+		"poison": func(s Setup) string { return PoisonFederation(s).String() },
 
 		"ablation-layerwise":   func(s Setup) string { return AblationLayerwise(s).String() },
 		"ablation-contrastive": func(s Setup) string { return AblationContrastive(s).String() },

@@ -1,0 +1,173 @@
+package fed
+
+import (
+	"math"
+	"testing"
+
+	"fexiot/internal/autodiff"
+	"fexiot/internal/mat"
+)
+
+// uniformW builds uniform normalised weights for n clients.
+func uniformW(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return w
+}
+
+func TestMeanAggMatchesWeightedMean(t *testing.T) {
+	vecs := [][]float64{{1, 2}, {3, 6}}
+	got := MeanAgg{}.Aggregate(vecs, []float64{0.75, 0.25})
+	if got[0] != 1.5 || got[1] != 3 {
+		t.Fatalf("weighted mean %v, want [1.5 3]", got)
+	}
+}
+
+// TestTrimmedMeanDropsOutliers pins the closed form: with one poisoned
+// client per tail trimmed, a 1000× scaled coordinate cannot move the
+// aggregate at all.
+func TestTrimmedMeanDropsOutliers(t *testing.T) {
+	vecs := [][]float64{{1}, {2}, {3}, {1000}, {-1000}}
+	got := TrimmedMeanAgg{Trim: 1}.Aggregate(vecs, uniformW(5))
+	if got[0] != 2 {
+		t.Fatalf("trimmed mean %v, want 2", got[0])
+	}
+	// Auto trim for n=5 is floor(4/3)=1 — same result.
+	if got := (TrimmedMeanAgg{}).Aggregate(vecs, uniformW(5)); got[0] != 2 {
+		t.Fatalf("auto-trimmed mean %v, want 2", got[0])
+	}
+	// Trim so large it would empty the window degrades instead of panicking.
+	if got := (TrimmedMeanAgg{Trim: 10}).Aggregate(vecs, uniformW(5)); got[0] != 2 {
+		t.Fatalf("over-trimmed mean %v, want 2 (median survivor)", got[0])
+	}
+}
+
+func TestMedianAggOddEven(t *testing.T) {
+	odd := [][]float64{{1, 5}, {2, 6}, {100, -100}}
+	got := MedianAgg{}.Aggregate(odd, uniformW(3))
+	if got[0] != 2 || got[1] != 5 {
+		t.Fatalf("odd median %v, want [2 5]", got)
+	}
+	even := [][]float64{{1}, {3}, {5}, {1000}}
+	if got := (MedianAgg{}).Aggregate(even, uniformW(4)); got[0] != 4 {
+		t.Fatalf("even median %v, want 4", got[0])
+	}
+}
+
+// TestNormClipBoundsOutlierPull pins the centered-clipping property: the
+// poisoned client's pull is bounded by the clip radius, so the aggregate
+// stays within clip of the honest coordinate-wise median.
+func TestNormClipBoundsOutlierPull(t *testing.T) {
+	vecs := [][]float64{{1, 0}, {1.1, 0}, {0.9, 0}, {1000, 0}}
+	got := NormClipAgg{Clip: 0.5}.Aggregate(vecs, uniformW(4))
+	// Center is the coordinate-wise median (1.05 at coord 0); every
+	// client's deviation is clipped to ≤ 0.5, so the result stays within
+	// the clip radius of the honest neighbourhood.
+	if math.Abs(got[0]-1.05) > 0.5 {
+		t.Fatalf("norm-clipped mean %v strayed more than clip from median 1.05", got[0])
+	}
+	// Unclipped FedAvg would be ≈ 250.75 — verify the defence actually bit.
+	if got[0] > 2 {
+		t.Fatalf("norm-clipped mean %v, outlier dominated", got[0])
+	}
+	// Auto radius (median deviation norm) must also hold the line.
+	if got := (NormClipAgg{}).Aggregate(vecs, uniformW(4)); got[0] > 2 {
+		t.Fatalf("auto norm-clipped mean %v, outlier dominated", got[0])
+	}
+}
+
+// TestKrumExcludesOutlier pins Krum selection: the far-away Byzantine
+// vector scores worst and never enters the aggregate.
+func TestKrumExcludesOutlier(t *testing.T) {
+	vecs := [][]float64{{1, 1}, {1.1, 1}, {0.9, 1}, {1, 1.1}, {500, -500}}
+	w := uniformW(5)
+	one := KrumAgg{M: 1, F: 1}.Aggregate(vecs, w)
+	if math.Abs(one[0]) > 2 || math.Abs(one[1]) > 2 {
+		t.Fatalf("krum selected the outlier: %v", one)
+	}
+	multi := KrumAgg{F: 1}.Aggregate(vecs, w)
+	if math.Abs(multi[0]-1) > 0.2 || math.Abs(multi[1]-1) > 0.2 {
+		t.Fatalf("multi-krum aggregate %v, want ≈ [1 1]", multi)
+	}
+	// Tiny federations degrade to the mean instead of panicking.
+	small := KrumAgg{}.Aggregate([][]float64{{2}, {4}}, uniformW(2))
+	if small[0] != 3 {
+		t.Fatalf("n=2 krum %v, want mean 3", small[0])
+	}
+}
+
+func TestNewAggregatorRegistry(t *testing.T) {
+	for _, name := range AggregatorNames() {
+		a, err := NewAggregator(name)
+		if err != nil {
+			t.Fatalf("NewAggregator(%q): %v", name, err)
+		}
+		if a.Name() != name && !(name == "fedavg" && a.Name() == "fedavg") {
+			t.Fatalf("NewAggregator(%q).Name() = %q", name, a.Name())
+		}
+	}
+	if a, err := NewAggregator(""); err != nil || a.Name() != "fedavg" {
+		t.Fatalf("empty name must select fedavg, got %v, %v", a, err)
+	}
+	if _, err := NewAggregator("bogus"); err == nil {
+		t.Fatal("unknown aggregator must error")
+	}
+}
+
+// TestAggregateParamsRoundTrip checks the flatten/aggregate/unflatten path
+// writes robust aggregates back into the right tensors, and that the
+// FedAvg path stays bit-identical to autodiff.WeightedAverage.
+func TestAggregateParamsRoundTrip(t *testing.T) {
+	mk := func(a, b, c, d float64) *autodiff.ParamSet {
+		p := autodiff.NewParamSet()
+		p.Register("l0.w", 0, mat.NewDenseData(1, 2, []float64{a, b}))
+		p.Register("l1.w", 1, mat.NewDenseData(1, 2, []float64{c, d}))
+		return p
+	}
+	sets := []*autodiff.ParamSet{mk(1, 2, 3, 4), mk(3, 4, 5, 6), mk(1000, -1000, 1000, -1000)}
+	w := []float64{0.4, 0.4, 0.2}
+
+	dst := mk(0, 0, 0, 0)
+	AggregateParams(MedianAgg{}, dst, sets, w)
+	want := []float64{3, 2, 5, 4}
+	for i, v := range dst.Flatten() {
+		if v != want[i] {
+			t.Fatalf("median params %v, want %v", dst.Flatten(), want)
+		}
+	}
+
+	// Layer-wise: only layer 1 changes.
+	dst = mk(-1, -1, 0, 0)
+	AggregateParamsLayer(MedianAgg{}, dst, sets, w, 1)
+	got := dst.Flatten()
+	if got[0] != -1 || got[1] != -1 || got[2] != 5 || got[3] != 4 {
+		t.Fatalf("layer median %v, want [-1 -1 5 4]", got)
+	}
+
+	// FedAvg path must equal WeightedAverage exactly.
+	a1, a2 := mk(0, 0, 0, 0), mk(0, 0, 0, 0)
+	AggregateParams(MeanAgg{}, a1, sets, w)
+	autodiff.WeightedAverage(a2, sets, w)
+	for i, v := range a1.Flatten() {
+		if v != a2.Flatten()[i] {
+			t.Fatalf("mean path diverged from WeightedAverage at %d", i)
+		}
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	if i := mat.CheckFinite([]float64{1, 2, 3}); i != -1 {
+		t.Fatalf("finite vector flagged at %d", i)
+	}
+	if i := mat.CheckFinite([]float64{1, math.NaN(), 3}); i != 1 {
+		t.Fatalf("NaN index %d, want 1", i)
+	}
+	if i := mat.CheckFinite([]float64{math.Inf(-1)}); i != 0 {
+		t.Fatalf("-Inf index %d, want 0", i)
+	}
+	if mat.AllFinite([]float64{0, math.Inf(1)}) {
+		t.Fatal("AllFinite missed +Inf")
+	}
+}

@@ -3,7 +3,6 @@ package fed
 import (
 	"math"
 
-	"fexiot/internal/autodiff"
 	"fexiot/internal/mat"
 )
 
@@ -29,7 +28,7 @@ func (FedAvg) Run(clients []*Client, cfg Config) *Result {
 		train.Seed = cfg.Seed + int64(r)
 		localTrainAll(clients, train)
 		avg := clients[0].Model.Params().Clone()
-		autodiff.WeightedAverage(avg, paramsOf(clients, all), dataWeights(clients, all))
+		AggregateParams(aggregatorOr(cfg.Aggregator), avg, paramsOf(clients, all), dataWeights(clients, all))
 		for _, c := range clients {
 			c.Model.Params().CopyFrom(avg)
 		}
@@ -143,7 +142,7 @@ func (a *clusteredFL) Run(clients []*Client, cfg Config) *Result {
 		clusters = next
 		for _, cluster := range clusters {
 			avg := clients[cluster[0]].Model.Params().Clone()
-			autodiff.WeightedAverage(avg, paramsOf(clients, cluster), dataWeights(clients, cluster))
+			AggregateParams(aggregatorOr(cfg.Aggregator), avg, paramsOf(clients, cluster), dataWeights(clients, cluster))
 			for _, i := range cluster {
 				clients[i].Model.Params().CopyFrom(avg)
 			}

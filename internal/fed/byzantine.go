@@ -1,0 +1,191 @@
+package fed
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"fexiot/internal/autodiff"
+	"fexiot/internal/gnn"
+	"fexiot/internal/graph"
+)
+
+// The attacker model of the robustness evaluation: a Byzantine client runs
+// the honest protocol (hello, local training, update upload) but corrupts
+// what the server sees. Each attack below is a standard poisoning primitive
+// from the FL robustness literature; together with the Aggregator menu they
+// span the poison experiment's attack × defence table.
+
+// Attack corrupts one client's pending update after local training. prev is
+// the weight snapshot before the round's training (never nil when invoked);
+// implementations mutate c.Model.Params() in place, exactly like the DP
+// hook, so the server-facing weights are the corrupted ones.
+type Attack interface {
+	Name() string
+	Corrupt(c *Client)
+}
+
+// AttackNames lists the selectable attack names accepted by NewAttack (and
+// the fexclient -attack flag).
+func AttackNames() []string {
+	return []string{"label-flip", "sign-flip", "scale", "nan", "replay"}
+}
+
+// NewAttack resolves an attack by name; "scale" accepts the default 10×
+// factor. The empty string means honest (nil attack).
+func NewAttack(name string) (Attack, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "label-flip":
+		return LabelFlip{}, nil
+	case "sign-flip":
+		return SignFlip{}, nil
+	case "scale":
+		return ScaleAttack{K: 10}, nil
+	case "nan":
+		return NaNInject{}, nil
+	case "replay":
+		return &StaleReplay{}, nil
+	default:
+		return nil, fmt.Errorf("fed: unknown attack %q (valid: %s)",
+			name, strings.Join(AttackNames(), ", "))
+	}
+}
+
+// SignFlip sends W ← prev − ΔW: the update direction is reversed, steering
+// gradient descent uphill. A classic untargeted model-poisoning attack.
+type SignFlip struct{}
+
+// Name identifies the attack.
+func (SignFlip) Name() string { return "sign-flip" }
+
+// Corrupt reverses the round's update.
+func (SignFlip) Corrupt(c *Client) {
+	applyDelta(c, func(d float64) float64 { return -d })
+}
+
+// ScaleAttack sends W ← prev + K·ΔW: a boosted update that dominates any
+// unweighted mean (the "model replacement" scaling of backdoor attacks).
+type ScaleAttack struct{ K float64 }
+
+// Name identifies the attack.
+func (a ScaleAttack) Name() string { return fmt.Sprintf("scale-%g", a.K) }
+
+// Corrupt scales the round's update by K.
+func (a ScaleAttack) Corrupt(c *Client) {
+	applyDelta(c, func(d float64) float64 { return a.K * d })
+}
+
+// NaNInject poisons the update with NaN/Inf values — the numerically
+// diverged client. Without a finiteness gate one such update turns the
+// whole federation's mean into NaN in a single round.
+type NaNInject struct{}
+
+// Name identifies the attack.
+func (NaNInject) Name() string { return "nan" }
+
+// Corrupt overwrites part of the weights with non-finite values.
+func (NaNInject) Corrupt(c *Client) {
+	for _, name := range c.Model.Params().Names() {
+		d := c.Model.Params().Get(name).Data()
+		for i := range d {
+			switch i % 3 {
+			case 0:
+				d[i] = math.NaN()
+			case 1:
+				d[i] = math.Inf(1)
+			}
+		}
+	}
+}
+
+// StaleReplay records the first update it observes and replays it every
+// round thereafter (W ← prev + Δ₀): a freshness attack that drags the
+// federation back toward round-0 state.
+type StaleReplay struct {
+	first *autodiff.ParamSet
+}
+
+// Name identifies the attack.
+func (*StaleReplay) Name() string { return "replay" }
+
+// Corrupt replaces the round's update with the recorded first-round update.
+func (s *StaleReplay) Corrupt(c *Client) {
+	if s.first == nil {
+		s.first = c.Update().Clone()
+		return // round 0 is replayed faithfully
+	}
+	w := c.prev.Clone()
+	for _, name := range w.Names() {
+		w.Get(name).AddScaled(s.first.Get(name), 1)
+	}
+	c.Model.Params().CopyFrom(w)
+}
+
+// LabelFlip flips every local training label before training — data
+// poisoning rather than model poisoning, so the corrupted update is
+// produced by honest optimisation on dishonest data. Installed once at
+// wrap time; Corrupt is a no-op.
+type LabelFlip struct{}
+
+// Name identifies the attack.
+func (LabelFlip) Name() string { return "label-flip" }
+
+// Corrupt does nothing: the poison is in the flipped dataset.
+func (LabelFlip) Corrupt(c *Client) {}
+
+// applyDelta rewrites the pending update: W ← prev + f(ΔW) element-wise.
+func applyDelta(c *Client, f func(float64) float64) {
+	if c.prev == nil {
+		return
+	}
+	update := c.Model.Params().Sub(c.prev)
+	w := c.prev.Clone()
+	for _, name := range w.Names() {
+		wd := w.Get(name).Data()
+		ud := update.Get(name).Data()
+		for i := range wd {
+			wd[i] += f(ud[i])
+		}
+	}
+	c.Model.Params().CopyFrom(w)
+}
+
+// MakeByzantine turns a client hostile: atk corrupts every subsequent
+// update right after local training (and after any DP hook). LabelFlip
+// additionally flips the client's local dataset labels immediately. A nil
+// attack restores honesty.
+func MakeByzantine(c *Client, atk Attack) {
+	c.byz = atk
+	if _, ok := atk.(LabelFlip); ok {
+		for _, g := range c.Train {
+			g.Label = !g.Label
+		}
+	}
+}
+
+// Byzantine reports the attack installed on a client, or nil when honest.
+func (c *Client) Byzantine() Attack { return c.byz }
+
+// CorruptUpdate applies atk to a parameter set holding prev + ΔW, returning
+// the corrupted weights — the connection-free form used by networked
+// clients (fexclient -attack) that own raw ParamSets instead of *Client.
+func CorruptUpdate(atk Attack, prev, after *autodiff.ParamSet) {
+	if atk == nil {
+		return
+	}
+	shim := &Client{Model: paramModel{after}, prev: prev}
+	atk.Corrupt(shim)
+}
+
+// paramModel adapts a bare ParamSet to the slice of gnn.Model the attacks
+// touch (Params only). The remaining methods are never called by attacks.
+type paramModel struct{ p *autodiff.ParamSet }
+
+func (m paramModel) Params() *autodiff.ParamSet { return m.p }
+func (m paramModel) Forward(*autodiff.Tape, *autodiff.Binder, *graph.Graph) *autodiff.Node {
+	panic("fed: paramModel is aggregation-only")
+}
+func (m paramModel) EmbedDim() int              { return 0 }
+func (m paramModel) Fresh(seed int64) gnn.Model { return m }

@@ -29,6 +29,10 @@ type Client struct {
 	// dp, when set, privatises every update before the server sees it
 	// (installed by PrivateAlgorithm).
 	dp *DPConfig
+	// byz, when set, corrupts every update before the server sees it
+	// (installed by MakeByzantine) — the simulated attacker of the
+	// robustness evaluation.
+	byz Attack
 }
 
 // NewClient builds a client around a fresh model instance.
@@ -66,6 +70,9 @@ func (c *Client) LocalTrain(cfg gnn.TrainConfig) {
 	gnn.TrainContrastive(c.Model, c.Train, cfg, c.Opt)
 	if c.dp != nil {
 		c.Privatize(*c.dp)
+	}
+	if c.byz != nil {
+		c.byz.Corrupt(c)
 	}
 }
 
@@ -141,6 +148,10 @@ type Config struct {
 	// clustering decision.
 	Eps1, Eps2 float64
 	Seed       int64
+	// Aggregator combines client models each round. Nil selects the classic
+	// FedAvg weighted mean; the robust alternatives (trimmed mean, median,
+	// norm-clipped mean, Krum) bound the damage Byzantine clients can do.
+	Aggregator Aggregator
 }
 
 // DefaultConfig mirrors the paper's settings (ε1 = 1.2, ε2 = 0.8, Adam with

@@ -1,7 +1,6 @@
 package fed
 
 import (
-	"fexiot/internal/autodiff"
 	"fexiot/internal/mat"
 )
 
@@ -106,18 +105,18 @@ func (f *FexIoT) Run(clients []*Client, cfg Config) *Result {
 			}
 			if split {
 				// Lines 13-17: cosine similarity over layer weights, binary
-				// clustering, per-sub-cluster FedAvg of this layer.
+				// clustering, per-sub-cluster aggregation of this layer.
 				c1, c2 := binaryCluster(layerWeights[l], cluster)
 				if len(c2) > 0 {
-					f.averageLayer(clients, c1, l)
-					f.averageLayer(clients, c2, l)
+					f.averageLayer(clients, c1, l, cfg.Aggregator)
+					f.averageLayer(clients, c2, l, cfg.Aggregator)
 					recurse(l+1, c1)
 					recurse(l+1, c2)
 					return
 				}
 			}
 			// Line 19: aggregate the whole cluster at this layer.
-			f.averageLayer(clients, cluster, l)
+			f.averageLayer(clients, cluster, l, cfg.Aggregator)
 			recurse(l+1, cluster)
 		}
 		recurse(0, indexRange(len(clients)))
@@ -136,14 +135,15 @@ func (f *FexIoT) Run(clients []*Client, cfg Config) *Result {
 	return res
 }
 
-// averageLayer replaces layer l of every cluster member with the
-// data-weighted mean of that layer.
-func (f *FexIoT) averageLayer(clients []*Client, cluster []int, l int) {
+// averageLayer replaces layer l of every cluster member with the cluster's
+// aggregate of that layer (data-weighted mean under FedAvg, a robust
+// combination under the alternatives).
+func (f *FexIoT) averageLayer(clients []*Client, cluster []int, l int, agg Aggregator) {
 	if len(cluster) == 0 {
 		return
 	}
 	avg := clients[cluster[0]].Model.Params().Clone()
-	autodiff.WeightedAverageLayer(avg, paramsOf(clients, cluster),
+	AggregateParamsLayer(aggregatorOr(agg), avg, paramsOf(clients, cluster),
 		dataWeights(clients, cluster), l)
 	for _, i := range cluster {
 		clients[i].Model.Params().CopyLayerFrom(avg, l)

@@ -29,7 +29,7 @@ func TestAggregateGateRegression(t *testing.T) {
 		{mkLayer(0, []float64{-1, 0}, 1)},
 		{mkLayer(0, []float64{-0.9, -0.1}, 1)},
 	}
-	agg := newRoundAgg(cfg, diverging, sizes)
+	agg := newRoundAgg(cfg, nil, diverging, sizes)
 	replies := agg.run()
 	if len(agg.leaves) != 2 {
 		t.Fatalf("diverging camps: %d leaf clusters, want 2 (%v)", len(agg.leaves), agg.leaves)
@@ -57,7 +57,7 @@ func TestAggregateGateRegression(t *testing.T) {
 		{mkLayer(0, []float64{1, 0.02}, 1)},
 		{mkLayer(0, []float64{1, 0.03}, 1)},
 	}
-	agg = newRoundAgg(cfg, aligned, sizes)
+	agg = newRoundAgg(cfg, nil, aligned, sizes)
 	agg.run()
 	if len(agg.leaves) != 1 || len(agg.leaves[0]) != 4 {
 		t.Fatalf("aligned clients: leaves %v, want one cluster of 4", agg.leaves)
@@ -71,7 +71,7 @@ func TestAggregateGateRegression(t *testing.T) {
 		{mkLayer(0, []float64{0, 1}, 0)},
 		{mkLayer(0, []float64{0, -1}, 0)},
 	}
-	agg = newRoundAgg(cfg, still, sizes)
+	agg = newRoundAgg(cfg, nil, still, sizes)
 	agg.run()
 	if len(agg.leaves) != 1 {
 		t.Fatalf("stationary clients: leaves %v, want one cluster", agg.leaves)
@@ -87,7 +87,7 @@ func TestGlobalMeanWeighting(t *testing.T) {
 		{mkLayer(0, []float64{0, 0}, 0)},
 		{mkLayer(0, []float64{4, 8}, 0)},
 	}
-	agg := newRoundAgg(cfg, payloads, []int{30, 10})
+	agg := newRoundAgg(cfg, nil, payloads, []int{30, 10})
 	global := agg.globalMean()
 	if len(global) != 1 {
 		t.Fatalf("global layers %d, want 1", len(global))

@@ -1,0 +1,113 @@
+package fedproto
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint is the gob snapshot a durable server writes after closing a
+// round: everything a restarted fexserver needs to resume the federation —
+// the next round to collect, the pinned tensor layout, the last global
+// model (replayed to rejoining clients via the ordinary hello/sync path),
+// the per-client strike state, and the run's stats so counters survive the
+// crash.
+type Checkpoint struct {
+	// Round is the next round to collect: rounds [0, Round) have closed.
+	Round  int
+	Shapes [][][2]int
+	Names  [][]string
+	Global []LayerPayload
+	// Strikes maps client id → consecutive missed rounds at snapshot time.
+	Strikes map[int]int
+	// Sizes maps client id → |G_c|, informational (hellos re-announce it).
+	Sizes map[int]int
+	Stats ServerStats
+}
+
+// SaveCheckpoint writes ck atomically: gob into a temp file in the target
+// directory, fsync, rename. A crash mid-write leaves the previous snapshot
+// intact, so the latest durable round is never corrupted.
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := gob.NewEncoder(tmp).Encode(ck); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fedproto: encode checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadCheckpoint reads a snapshot written by SaveCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ck Checkpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("fedproto: decode checkpoint %s: %w", path, err)
+	}
+	return &ck, nil
+}
+
+// saveCheckpoint snapshots the server state after nextRound−1 closed.
+func (s *Server) saveCheckpoint(nextRound int) error {
+	s.mu.Lock()
+	ck := &Checkpoint{
+		Round:   nextRound,
+		Shapes:  s.shapes,
+		Names:   s.names,
+		Global:  s.global,
+		Strikes: map[int]int{},
+		Sizes:   map[int]int{},
+		Stats:   s.stats,
+	}
+	ck.Stats.Responders = append([]int(nil), s.stats.Responders...)
+	for _, st := range s.clients {
+		if st.alive {
+			ck.Strikes[st.id] = st.strikes
+			ck.Sizes[st.id] = st.size
+		}
+	}
+	s.mu.Unlock()
+	return SaveCheckpoint(s.cfg.CheckpointPath, ck)
+}
+
+// restoreCheckpoint loads the latest snapshot, if any, before Run starts
+// listening. A missing file is a fresh federation, not an error.
+func (s *Server) restoreCheckpoint() error {
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	ck, err := LoadCheckpoint(s.cfg.CheckpointPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.startRound = ck.Round
+	s.round = ck.Round
+	s.shapes = ck.Shapes
+	s.names = ck.Names
+	s.global = ck.Global
+	s.stats = ck.Stats
+	s.restoredStrikes = ck.Strikes
+	return nil
+}

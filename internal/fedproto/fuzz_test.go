@@ -1,0 +1,83 @@
+package fedproto
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+
+	"fexiot/internal/fed"
+)
+
+// encodeFrame gob-encodes one message the way Conn.Send does.
+func encodeFrame(t testing.TB, m *Message) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeUpdate feeds arbitrary bytes through the exact path a remote
+// update takes on the server: gob decode, ValidateUpdate, CheckFiniteUpdate,
+// then the flatten the aggregator would perform. Whatever the bytes, the
+// pipeline must return errors — never panic.
+func FuzzDecodeUpdate(f *testing.F) {
+	p := scriptParams()
+	valid := &Message{Kind: MsgUpdate, ClientID: 1, Round: 2,
+		Layers: EncodeLayers(p, []int{0, 1}, zeroNorms(p))}
+	f.Add(encodeFrame(f, valid))
+	poisoned := &Message{Kind: MsgUpdate, ClientID: 1, Round: 2,
+		Layers: EncodeLayers(p, []int{0, 1}, zeroNorms(p))}
+	poisoned.Layers[0].Data[0][0] = math.NaN()
+	f.Add(encodeFrame(f, poisoned))
+	short := &Message{Kind: MsgUpdate, ClientID: 1,
+		Layers: EncodeLayers(p, []int{0}, zeroNorms(p))}
+	f.Add(encodeFrame(f, short))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x81, 0x03, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+			return
+		}
+		if err := ValidateUpdate(&m, 2); err != nil {
+			return
+		}
+		if err := CheckFiniteUpdate(&m); err != nil {
+			return
+		}
+		// A message that passed both gates must be safely flattenable — this
+		// is what the round aggregation does with it.
+		for _, pl := range m.Layers {
+			_ = flatten(pl)
+		}
+	})
+}
+
+// FuzzDecodeHello drives arbitrary bytes through the admission handshake's
+// decode and field uses. Malformed hellos must be rejected or ignored, never
+// crash the accept loop.
+func FuzzDecodeHello(f *testing.F) {
+	f.Add(encodeFrame(f, &Message{Kind: MsgHello, ClientID: 3, DataSize: 42}))
+	f.Add(encodeFrame(f, &Message{Kind: MsgHello, ClientID: -1, DataSize: -7}))
+	f.Add(encodeFrame(f, &Message{Kind: MsgUpdate, ClientID: 1}))
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+			return
+		}
+		if m.Kind != MsgHello {
+			return // admit closes the socket on anything but a hello
+		}
+		// The fields admit consumes: registration key and FedAvg weight. A
+		// lying DataSize feeds the weighting rule, which must stay total.
+		_ = m.ClientID
+		_ = fed.QuorumWeights([]int{10, m.DataSize}, []int{0, 1})
+	})
+}

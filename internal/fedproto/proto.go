@@ -217,6 +217,26 @@ func ValidateUpdate(m *Message, numLayers int) error {
 	return nil
 }
 
+// CheckFiniteUpdate rejects updates carrying NaN or ±Inf weights with an
+// error wrapping ErrNonFiniteUpdate. It runs after ValidateUpdate on every
+// remote update — one diverged client must never reach the aggregator,
+// where a single non-finite coordinate poisons the global model. The scan
+// is mat.CheckFinite per tensor plus the reported update norm.
+func CheckFiniteUpdate(m *Message) error {
+	for l, pl := range m.Layers {
+		if !mat.AllFinite([]float64{pl.UpdateNorm}) {
+			return fmt.Errorf("%w: layer %d update norm is %v", ErrNonFiniteUpdate, l, pl.UpdateNorm)
+		}
+		for i, d := range pl.Data {
+			if j := mat.CheckFinite(d); j >= 0 {
+				return fmt.Errorf("%w: layer %d tensor %q element %d is %v",
+					ErrNonFiniteUpdate, l, pl.Names[i], j, d[j])
+			}
+		}
+	}
+	return nil
+}
+
 // LayerNorms computes per-layer update norms between two snapshots.
 func LayerNorms(before, after *autodiff.ParamSet) map[int]float64 {
 	out := map[int]float64{}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -25,12 +26,17 @@ const DefaultQuorum = 2.0 / 3
 // a silent client is evicted (ServerConfig.MaxStrikes zero value).
 const DefaultMaxStrikes = 3
 
-// Named protocol errors. Both are produced by remote input, never a panic:
-// a malformed update evicts its sender, and a round that closes below
-// quorum fails the federation with ErrQuorumLost wrapping every per-client
-// cause.
+// Named protocol errors. All are produced by remote input, never a panic:
+// a malformed or non-finite update evicts its sender, and a round that
+// closes below quorum fails the federation with ErrQuorumLost wrapping
+// every per-client cause.
 var (
 	ErrMalformedUpdate = errors.New("fedproto: malformed update")
+	// ErrNonFiniteUpdate rejects updates carrying NaN or ±Inf weights — a
+	// numerically diverged or NaN-injecting client must never reach the
+	// aggregator, where a single poisoned coordinate would turn the global
+	// mean non-finite for the whole federation.
+	ErrNonFiniteUpdate = errors.New("fedproto: non-finite update")
 	ErrQuorumLost      = errors.New("fedproto: quorum lost")
 )
 
@@ -56,6 +62,20 @@ type ServerConfig struct {
 	// rounds. Zero selects DefaultMaxStrikes; negative disables eviction,
 	// so silent clients keep costing the round deadline forever.
 	MaxStrikes int
+	// Aggregator combines the responders' layer weights each round. Nil
+	// selects the FedAvg quorum-weighted mean (the historical behaviour);
+	// the robust alternatives from internal/fed (trimmed mean, median,
+	// norm-clipped mean, Krum) bound a Byzantine client's influence.
+	Aggregator fed.Aggregator
+	// CheckpointPath, when set, makes the server durable: every
+	// CheckpointEvery closed rounds it gob-snapshots the round number,
+	// pinned shapes, global model, per-client strike state and stats to
+	// this path (atomically, via rename), and a restarted server resumes
+	// the federation from the latest snapshot instead of round 0.
+	CheckpointPath string
+	// CheckpointEvery is the snapshot cadence in closed rounds; zero
+	// selects 1 (snapshot after every round).
+	CheckpointEvery int
 }
 
 // roundTimeout resolves the configured deadline policy.
@@ -92,6 +112,22 @@ func (s *Server) maxStrikes() int {
 	default:
 		return s.cfg.MaxStrikes
 	}
+}
+
+// aggregator resolves the configured aggregation rule.
+func (s *Server) aggregator() fed.Aggregator {
+	if s.cfg.Aggregator == nil {
+		return fed.MeanAgg{}
+	}
+	return s.cfg.Aggregator
+}
+
+// checkpointEvery resolves the snapshot cadence.
+func (s *Server) checkpointEvery() int {
+	if s.cfg.CheckpointEvery <= 0 {
+		return 1
+	}
+	return s.cfg.CheckpointEvery
 }
 
 // quorumCount is the number of updates required out of n admitted clients.
@@ -160,6 +196,12 @@ type Server struct {
 	acceptErr error
 	closed    bool
 	stats     ServerStats
+	// startRound is where Run's round loop begins — nonzero after a
+	// checkpoint restore.
+	startRound int
+	// restoredStrikes carries per-client strike state across a restart:
+	// consumed by the first hello of each rejoining client id.
+	restoredStrikes map[int]int
 }
 
 // NewServer creates a server.
@@ -183,6 +225,9 @@ func (s *Server) Stats() ServerStats {
 // clients). It keeps accepting connections for the whole run so evicted or
 // crashed clients can rejoin mid-federation.
 func (s *Server) Run() (int64, error) {
+	if err := s.restoreCheckpoint(); err != nil {
+		return 0, err
+	}
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return 0, err
@@ -195,21 +240,44 @@ func (s *Server) Run() (int64, error) {
 	go s.acceptLoop(ln)
 
 	s.mu.Lock()
-	for s.aliveCount() < s.cfg.Clients && s.acceptErr == nil {
+	for s.aliveCount() < s.cfg.Clients && s.acceptErr == nil && !s.closed {
 		s.cond.Wait()
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return s.totalBytes(), fmt.Errorf("fedproto: server stopped before round %d", s.startRound)
 	}
 	if err := s.acceptErr; err != nil && s.aliveCount() < s.cfg.Clients {
 		s.mu.Unlock()
 		return s.totalBytes(), fmt.Errorf("fedproto: accept: %w", err)
 	}
+	start := s.startRound
 	s.mu.Unlock()
 
-	for round := 0; round < s.cfg.Rounds; round++ {
+	for round := start; round < s.cfg.Rounds; round++ {
 		if err := s.runRound(round); err != nil {
 			return s.totalBytes(), err
 		}
 	}
 	return s.totalBytes(), nil
+}
+
+// Stop crashes the server mid-federation: every socket is torn down and no
+// further admissions are accepted, so Run fails its in-flight round and
+// returns. With checkpointing enabled, a fresh Server on the same
+// CheckpointPath resumes where the last snapshot left off — Stop is the
+// kill switch the crash-recovery tests (and operators' SIGTERM handlers)
+// exercise.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for _, st := range s.clients {
+		if st.conn != nil {
+			st.conn.Close()
+		}
+	}
+	s.cond.Broadcast()
 }
 
 // acceptLoop admits clients for the lifetime of the listener, including
@@ -260,10 +328,20 @@ func (s *Server) admit(raw net.Conn) {
 		s.stats.Rejoined++
 	}
 	st.conn, st.size, st.strikes, st.alive = c, hello.DataSize, 0, true
+	// A client re-admitted after a server restart inherits the strike
+	// state the checkpoint recorded for it (consumed once; later
+	// reconnects reset to zero as usual, having proven liveness).
+	if n, ok := s.restoredStrikes[hello.ClientID]; ok {
+		st.strikes = n
+		delete(s.restoredStrikes, hello.ClientID)
+	}
 	// Sync reply: the round to resume at plus the current aggregated
 	// model (nil before the first round closes — fresh joiners start from
-	// their own initialisation like the in-process simulator).
-	syncMsg := &Message{Kind: MsgModel, Round: s.round, Layers: s.global}
+	// their own initialisation like the in-process simulator). A server
+	// resumed past its final round tells the client the federation is
+	// already over.
+	syncMsg := &Message{Kind: MsgModel, Round: s.round, Layers: s.global,
+		Final: s.cfg.Rounds > 0 && s.round >= s.cfg.Rounds}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
@@ -328,6 +406,10 @@ func (s *Server) runRound(round int) error {
 		}
 	}
 	s.mu.Unlock()
+	// Aggregate in client-id order, not admission order: float summation
+	// order must not depend on goroutine scheduling, or a resumed federation
+	// could drift from an uninterrupted one in the last ulp.
+	sort.Slice(live, func(i, j int) bool { return live[i].st.id < live[j].st.id })
 
 	// Collect updates concurrently, each receive bounded by the round
 	// deadline so one hung client costs at most the deadline, never the
@@ -347,6 +429,10 @@ func (s *Server) runRound(round int) error {
 				return
 			}
 			if err := ValidateUpdate(m, s.cfg.NumLayers); err != nil {
+				r.err = err
+				return
+			}
+			if err := CheckFiniteUpdate(m); err != nil {
 				r.err = err
 				return
 			}
@@ -403,8 +489,9 @@ func (s *Server) runRound(round int) error {
 	}
 
 	// Layer-wise clustering aggregation over the responders, mirroring
-	// fed.FexIoT with the same FedAvg quorum weighting.
-	agg := newRoundAgg(s.cfg, upd, sizes)
+	// fed.FexIoT with the same FedAvg quorum weighting; the configured
+	// aggregator decides how each cluster's layer weights combine.
+	agg := newRoundAgg(s.cfg, s.aggregator(), upd, sizes)
 	replies := agg.run()
 	global := agg.globalMean()
 
@@ -413,6 +500,14 @@ func (s *Server) runRound(round int) error {
 	s.stats.RoundsCompleted++
 	s.stats.Responders = append(s.stats.Responders, len(responders))
 	s.mu.Unlock()
+
+	// Durability point: the round is closed and the global model final, so
+	// this is the state a restarted server must resume from.
+	if s.cfg.CheckpointPath != "" && (round+1)%s.checkpointEvery() == 0 {
+		if err := s.saveCheckpoint(round + 1); err != nil {
+			return fmt.Errorf("fedproto: round %d checkpoint: %w", round, err)
+		}
+	}
 
 	final := round == s.cfg.Rounds-1
 	for k, st := range responders {
@@ -493,14 +588,18 @@ func (s *Server) totalBytes() int64 {
 // payloads.
 type roundAgg struct {
 	cfg      ServerConfig
+	agg      fed.Aggregator
 	payloads [][]LayerPayload // [responder][layer]
 	sizes    []int
 	flats    map[[2]int][]float64 // (responder, layer) → flattened weights
 	leaves   [][]int              // bottom-layer clusters (diagnostics/tests)
 }
 
-func newRoundAgg(cfg ServerConfig, payloads [][]LayerPayload, sizes []int) *roundAgg {
-	return &roundAgg{cfg: cfg, payloads: payloads, sizes: sizes,
+func newRoundAgg(cfg ServerConfig, agg fed.Aggregator, payloads [][]LayerPayload, sizes []int) *roundAgg {
+	if agg == nil {
+		agg = fed.MeanAgg{}
+	}
+	return &roundAgg{cfg: cfg, agg: agg, payloads: payloads, sizes: sizes,
 		flats: map[[2]int][]float64{}}
 }
 
@@ -627,17 +726,24 @@ func (a *roundAgg) binaryCluster(cluster []int, layer int) ([]int, []int) {
 	return c1, c2
 }
 
-// average returns the weighted layer mean of a cluster.
+// average returns the cluster's layer aggregate under the configured
+// aggregator (the quorum-weighted mean under FedAvg). The flattened layer
+// is aggregated as one vector — Krum's distance scores need the whole
+// layer, not per-tensor fragments — then split back along tensor bounds.
 func (a *roundAgg) average(cluster []int, layer int) LayerPayload {
 	w := fed.QuorumWeights(a.sizes, cluster)
+	vecs := make([][]float64, len(cluster))
+	for k, i := range cluster {
+		vecs[k] = a.flat(i, layer)
+	}
+	aggVec := a.agg.Aggregate(vecs, w)
 	tmpl := a.payloads[cluster[0]][layer]
 	avg := LayerPayload{Layer: tmpl.Layer, Names: tmpl.Names, Shapes: tmpl.Shapes}
+	off := 0
 	for di := range tmpl.Data {
-		sum := make([]float64, len(tmpl.Data[di]))
-		for k, i := range cluster {
-			mat.Axpy(sum, a.payloads[i][layer].Data[di], w[k])
-		}
-		avg.Data = append(avg.Data, sum)
+		n := len(tmpl.Data[di])
+		avg.Data = append(avg.Data, append([]float64(nil), aggVec[off:off+n]...))
+		off += n
 	}
 	return avg
 }

@@ -1,6 +1,8 @@
 package gnn
 
 import (
+	"math"
+
 	"fexiot/internal/autodiff"
 	"fexiot/internal/graph"
 	"fexiot/internal/mat"
@@ -16,6 +18,16 @@ type TrainConfig struct {
 	PairsPerEpoch int     // contrastive pairs sampled per pass
 	BatchPairs    int     // pairs accumulated per optimiser step
 	Seed          int64
+	// GradClip bounds the global gradient norm of every optimiser step.
+	// Zero selects the historical default of 5; negative disables clipping.
+	GradClip float64
+	// DivergeFactor aborts the round when a batch loss exceeds
+	// DivergeFactor × the round's first batch loss — the signature of a
+	// numerically diverging model. Zero disables the ratio check; the
+	// non-finite (NaN/Inf) loss and gradient checks are always on. An
+	// aborted round restores the weights captured at entry, so divergence
+	// never propagates NaN into the federation.
+	DivergeFactor float64
 }
 
 // DefaultTrainConfig mirrors the paper's training setup.
@@ -24,14 +36,43 @@ func DefaultTrainConfig(seed int64) TrainConfig {
 		PairsPerEpoch: 64, BatchPairs: 8, Seed: seed}
 }
 
+// gradClip resolves the configured clip bound (0 = disabled).
+func (c TrainConfig) gradClip() float64 {
+	switch {
+	case c.GradClip < 0:
+		return 0
+	case c.GradClip == 0:
+		return 5
+	default:
+		return c.GradClip
+	}
+}
+
+// gradsFinite reports whether every accumulated gradient is finite.
+func gradsFinite(grads map[string]*mat.Dense) bool {
+	for _, g := range grads {
+		if !mat.AllFinite(g.Data()) {
+			return false
+		}
+	}
+	return true
+}
+
 // TrainContrastive runs contrastive training of the model on labelled
 // graphs, sampling same-class and different-class pairs in roughly equal
 // proportion. The optimiser is owned by the caller so federated clients
 // keep momentum state across rounds.
-func TrainContrastive(m Model, graphs []*graph.Graph, cfg TrainConfig, opt *autodiff.Adam) {
+//
+// The loop is divergence-safe: a non-finite batch loss or gradient — or,
+// with cfg.DivergeFactor set, a loss blow-up past DivergeFactor × the first
+// batch loss — aborts the round and restores the weights captured at entry.
+// It returns false on such an abort and true when the round completed.
+func TrainContrastive(m Model, graphs []*graph.Graph, cfg TrainConfig, opt *autodiff.Adam) bool {
 	if len(graphs) < 2 {
-		return
+		return true
 	}
+	snapshot := m.Params().Clone()
+	firstLoss := math.NaN()
 	r := rng.New(cfg.Seed)
 	var pos, neg []int
 	for i, g := range graphs {
@@ -70,6 +111,7 @@ func TrainContrastive(m Model, graphs []*graph.Graph, cfg TrainConfig, opt *auto
 			}
 			remaining -= batch
 			grads := map[string]*mat.Dense{}
+			batchLoss := 0.0
 			for k := 0; k < batch; k++ {
 				ga, gb, diff := samplePair()
 				tape := autodiff.NewTape()
@@ -78,13 +120,32 @@ func TrainContrastive(m Model, graphs []*graph.Graph, cfg TrainConfig, opt *auto
 				zb := m.Forward(tape, binder, gb)
 				loss := tape.ContrastiveLoss(za, zb, diff, cfg.Margin)
 				loss = tape.Scale(loss, 1/float64(batch))
+				batchLoss += loss.Value.At(0, 0)
 				tape.Backward(loss)
 				binder.AccumulateGrads(grads)
 			}
-			autodiff.ClipGrads(grads, 5)
+			// Divergence gate: a NaN/Inf loss or gradient, or a loss
+			// blow-up past the configured factor, means this round is
+			// poisoning the weights — roll back instead of propagating.
+			diverged := !mat.AllFinite([]float64{batchLoss}) || !gradsFinite(grads)
+			if !diverged && cfg.DivergeFactor > 0 {
+				if math.IsNaN(firstLoss) {
+					firstLoss = batchLoss
+				} else if firstLoss > 0 && batchLoss > cfg.DivergeFactor*firstLoss {
+					diverged = true
+				}
+			}
+			if diverged {
+				m.Params().CopyFrom(snapshot)
+				return false
+			}
+			if clip := cfg.gradClip(); clip > 0 {
+				autodiff.ClipGrads(grads, clip)
+			}
 			opt.Step(m.Params(), grads)
 		}
 	}
+	return true
 }
 
 // SupervisedHead is a linear classification head trained jointly with the

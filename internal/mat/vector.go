@@ -188,6 +188,23 @@ func Sigmoid(x float64) float64 {
 	return e / (1 + e)
 }
 
+// CheckFinite returns the index of the first NaN or ±Inf element of v, or
+// -1 when every element is finite. The scan uses the identity x−x ≠ 0 ⇔ x
+// is non-finite (NaN−NaN = NaN, Inf−Inf = NaN), which keeps the loop free
+// of math.IsNaN/IsInf calls and branch-predictable on the clean path — it
+// runs on every remote update the federation server accepts.
+func CheckFinite(v []float64) int {
+	for i, x := range v {
+		if x-x != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// AllFinite reports whether every element of v is finite.
+func AllFinite(v []float64) bool { return CheckFinite(v) < 0 }
+
 // Clamp restricts x to the closed interval [lo, hi].
 func Clamp(x, lo, hi float64) float64 {
 	if x < lo {

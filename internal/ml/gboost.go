@@ -162,7 +162,10 @@ func (b *GradientBoost) Fit(x [][]float64, y []int) {
 			pos++
 		}
 	}
-	p := mat.Clamp(float64(pos)/float64(n), 1e-6, 1-1e-6)
+	// Clamp away from {0, 1}: a degenerate all-one-class training set must
+	// yield a large-but-finite log-odds bias, never ±Inf (which would turn
+	// every later sigmoid/gradient into garbage).
+	p := mat.Clamp(float64(pos)/float64(n), 1e-12, 1-1e-12)
 	b.bias = math.Log(p / (1 - p))
 
 	raw := make([]float64, n)

@@ -256,3 +256,32 @@ func TestEmptyFitSafety(t *testing.T) {
 		_ = c.Score([]float64{1, 2})
 	}
 }
+
+// TestGradientBoostDegenerateLabels is the regression test for the initial
+// log-odds bias: an all-one-class training set sits at the clamp boundary,
+// and the fitted ensemble must stay finite and keep predicting the only
+// class it has ever seen.
+func TestGradientBoostDegenerateLabels(t *testing.T) {
+	x, _ := blobs(40, 0.3, 5)
+	for _, class := range []int{0, 1} {
+		y := make([]int, len(x))
+		for i := range y {
+			y[i] = class
+		}
+		b := NewGradientBoost(10, 3, 0.3)
+		b.Fit(x, y)
+		if math.IsInf(b.bias, 0) || math.IsNaN(b.bias) {
+			t.Fatalf("class %d: degenerate labels produced non-finite bias %v", class, b.bias)
+		}
+		for _, q := range x {
+			s := b.Score(q)
+			if math.IsNaN(s) || s < 0 || s > 1 {
+				t.Fatalf("class %d: score %v out of range on degenerate fit", class, s)
+			}
+			if b.Predict(q) != class {
+				t.Fatalf("class %d: predicted %d after seeing only class %d",
+					class, b.Predict(q), class)
+			}
+		}
+	}
+}
