@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 10s
 
 .PHONY: all build test race race-fedproto race-fed vet bench bench-matmul \
-	bench-agg poison-smoke fuzz check
+	bench-agg poison-smoke obs-smoke fuzz check
 
 all: build
 
@@ -48,10 +48,16 @@ bench-agg:
 poison-smoke:
 	$(GO) test -count=1 -run TestPoisonRobustnessPinned ./internal/experiments/
 
+# End-to-end observability smoke: a real two-client federation with
+# fexserver -http, then curl /metrics and /statusz and fail on anything
+# missing or empty.
+obs-smoke:
+	sh scripts/obs-smoke.sh
+
 # Wire-protocol fuzzers (gob decode must error, never panic). FUZZTIME
 # bounds each target; raise it for long local runs.
 fuzz:
 	$(GO) test -fuzz FuzzDecodeUpdate -fuzztime $(FUZZTIME) ./internal/fedproto/
 	$(GO) test -fuzz FuzzDecodeHello -fuzztime $(FUZZTIME) ./internal/fedproto/
 
-check: build vet test race race-fedproto race-fed poison-smoke
+check: build vet test race race-fedproto race-fed poison-smoke obs-smoke

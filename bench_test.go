@@ -188,7 +188,12 @@ var (
 func getFixture(b *testing.B) *pipelineFixture {
 	b.Helper()
 	fixtureOnce.Do(func() {
-		sys := fexiot.New(fexiot.Options{Seed: 7})
+		opts := fexiot.DefaultOptions()
+		opts.Seed = 7
+		sys, err := fexiot.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
 		var train []*fexiot.Graph
 		for home := 0; home < 20; home++ {
 			arch := fexiot.ArchetypeNames()[home%len(fexiot.ArchetypeNames())]
@@ -225,7 +230,9 @@ func BenchmarkDetect(b *testing.B) {
 	f := getFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f.sys.Detect(f.probe)
+		if _, err := f.sys.Detect(f.probe); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -234,7 +241,9 @@ func BenchmarkExplain(b *testing.B) {
 	f := getFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f.sys.Explain(f.probe)
+		if _, err := f.sys.Explain(f.probe); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -17,10 +17,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"fexiot/internal/autodiff"
@@ -30,6 +33,8 @@ import (
 	"fexiot/internal/fusion"
 	"fexiot/internal/gnn"
 	"fexiot/internal/graph"
+	"fexiot/internal/mat"
+	"fexiot/internal/obs"
 	"fexiot/internal/rules"
 )
 
@@ -51,6 +56,8 @@ func main() {
 	attackName := flag.String("attack", "",
 		"run as a Byzantine client: "+strings.Join(fed.AttackNames(), ", ")+
 			" (empty = honest; for robustness testing)")
+	httpAddr := flag.String("http", "",
+		"observability address serving /metrics, /statusz and /debug/pprof/ (empty disables)")
 	flag.Parse()
 	if *seed == 0 {
 		*seed = int64(*id)*7919 + 17
@@ -60,6 +67,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	var reg *obs.Registry
+	if *httpAddr != "" {
+		reg = obs.NewRegistry()
+		mat.InstrumentKernels(reg)
+		hs, err := obs.StartHTTP(*httpAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obs:", err)
+			os.Exit(2)
+		}
+		defer hs.Close()
+		fmt.Printf("obs listening on http://%s\n", hs.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// Local data: a home's interaction graphs. A typo'd archetype silently
 	// training on the wrong distribution is exactly the kind of federation
@@ -104,8 +127,9 @@ func main() {
 	cfg := gnn.DefaultTrainConfig(*seed)
 	cfg.LR = 0.005
 	cfg.PairsPerEpoch = *pairs
+	cfg.Metrics = reg
 
-	stats, err := fedproto.RunClientSession(fedproto.ClientConfig{
+	stats, err := fedproto.RunClientSession(ctx, fedproto.ClientConfig{
 		Addr:           *addr,
 		ID:             *id,
 		DataSize:       len(train),

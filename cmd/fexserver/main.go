@@ -12,20 +12,31 @@
 // -checkpoint-every closed rounds and resumes from the latest snapshot
 // after a crash.
 //
+// -http serves observability on the given address: Prometheus metrics at
+// /metrics, a JSON status snapshot at /statusz and pprof profiles under
+// /debug/pprof/. SIGINT/SIGTERM shut the federation down gracefully,
+// flushing a final checkpoint when -checkpoint is set.
+//
 // Usage:
 //
 //	fexserver -addr :7070 -clients 4 -rounds 10 -quorum 0.75 -strikes 3 \
-//	    -agg trimmed -checkpoint /tmp/fex.ckpt -checkpoint-every 2
+//	    -agg trimmed -checkpoint /tmp/fex.ckpt -checkpoint-every 2 \
+//	    -http :9090
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"fexiot/internal/fed"
 	"fexiot/internal/fedproto"
+	"fexiot/internal/mat"
+	"fexiot/internal/obs"
 )
 
 func main() {
@@ -47,6 +58,8 @@ func main() {
 		"checkpoint file; resumes from it when present (empty disables)")
 	checkpointEvery := flag.Int("checkpoint-every", 1,
 		"snapshot cadence in closed rounds")
+	httpAddr := flag.String("http", "",
+		"observability address serving /metrics, /statusz and /debug/pprof/ (empty disables)")
 	flag.Parse()
 
 	agg, err := fed.NewAggregator(*aggName)
@@ -54,6 +67,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	var reg *obs.Registry
+	if *httpAddr != "" {
+		reg = obs.NewRegistry()
+		mat.InstrumentKernels(reg)
+		hs, err := obs.StartHTTP(*httpAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obs:", err)
+			os.Exit(2)
+		}
+		defer hs.Close()
+		fmt.Printf("obs listening on http://%s\n", hs.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	srv := fedproto.NewServer(fedproto.ServerConfig{
 		Addr:            *addr,
@@ -68,15 +97,24 @@ func main() {
 		Aggregator:      agg,
 		CheckpointPath:  *checkpoint,
 		CheckpointEvery: *checkpointEvery,
+		Metrics:         reg,
 	})
 	fmt.Printf("fexserver listening on %s for %d clients, %d rounds (quorum %.2f, %d strikes, %s aggregation)\n",
 		*addr, *clients, *rounds, *quorum, *strikes, agg.Name())
 	if *checkpoint != "" {
 		fmt.Printf("checkpointing every %d round(s) to %s\n", *checkpointEvery, *checkpoint)
 	}
-	total, err := srv.Run()
+	total, err := srv.Run(ctx)
 	stats := srv.Stats()
 	if err != nil {
+		// A signal-driven shutdown has already flushed its final checkpoint
+		// inside Run (when -checkpoint is set); report it as an orderly
+		// stop, not a failure.
+		if ctx.Err() != nil {
+			fmt.Printf("interrupted after %d rounds: %v\n",
+				stats.RoundsCompleted, err)
+			os.Exit(0)
+		}
 		fmt.Fprintf(os.Stderr, "server error after %d rounds: %v\n",
 			stats.RoundsCompleted, err)
 		os.Exit(1)

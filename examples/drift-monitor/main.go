@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"fexiot"
 	"fexiot/internal/embed"
@@ -14,7 +15,12 @@ import (
 )
 
 func main() {
-	sys := fexiot.New(fexiot.Options{Seed: 13})
+	opts := fexiot.DefaultOptions()
+	opts.Seed = 13
+	sys, err := fexiot.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	enc := embed.NewEncoder(48, 64)
 	pool := fusion.MultiHomePool(21, 60, 25, nil)
 	b := fusion.NewBuilder(23, enc)
@@ -44,7 +50,10 @@ func main() {
 
 	stats := func(gs []*graph.Graph) (flagged int, meanScore float64) {
 		for _, g := range gs {
-			v := sys.Detect(g)
+			v, err := sys.Detect(g)
+			if err != nil {
+				log.Fatal(err)
+			}
 			if v.Drifting {
 				flagged++
 			}
@@ -66,7 +75,10 @@ func main() {
 	fmt.Println("\nthe three novel patterns (paper §IV-C):")
 	for i, k := range kinds {
 		g := b.OfflineWithDrift(pool, k, 3)
-		v := sys.Detect(g)
+		v, err := sys.Detect(g)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  %-14s → score=%.3f deviation=%.2f MADs drifting=%v\n",
 			names[i], v.Score, v.DriftScore, v.Drifting)
 	}

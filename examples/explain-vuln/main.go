@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"fexiot"
 	"fexiot/internal/rules"
@@ -58,7 +59,12 @@ func scenario() []*fexiot.Rule {
 }
 
 func main() {
-	sys := fexiot.New(fexiot.Options{Seed: 5, Model: "GCN"})
+	opts := fexiot.DefaultOptions()
+	opts.Seed, opts.Model = 5, "GCN"
+	sys, err := fexiot.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("training detector…")
 	var training []*fexiot.Graph
@@ -81,10 +87,16 @@ func main() {
 	fmt.Printf("\ninteraction graph: %d nodes, %d edges; ground truth tags: %v\n",
 		g.N(), len(g.Edges), g.Tags)
 
-	v := sys.Detect(g)
+	v, err := sys.Detect(g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("detector verdict: vulnerable=%v score=%.3f\n", v.Vulnerable, v.Score)
 
-	ex := sys.Explain(g)
+	ex, err := sys.Explain(g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nexplanation (risk %.3f, fidelity %.2f, sparsity %.2f):\n",
 		ex.Score, ex.Fidelity, ex.Sparsity)
 	for _, r := range ex.Rules {

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"fexiot"
 )
@@ -20,7 +21,12 @@ func main() {
 	// Each client is one household with its own graphs.
 	fmt.Println("building 8 household datasets…")
 	clientData := make([][]*fexiot.Graph, len(archs))
-	builderSys := fexiot.New(fexiot.Options{Seed: 3})
+	builderOpts := fexiot.DefaultOptions()
+	builderOpts.Seed = 3
+	builderSys, err := fexiot.New(builderOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i, arch := range archs {
 		deployed := fexiot.GenerateHome(arch, 28, int64(i*13+7))
 		for g := 0; g < 30; g++ {
@@ -48,12 +54,20 @@ func main() {
 	for _, algo := range []fexiot.FederatedAlgorithm{
 		fexiot.AlgoFexIoT, fexiot.AlgoFedAvg, fexiot.AlgoClient,
 	} {
-		sys := fexiot.New(fexiot.Options{Seed: 3})
+		sysOpts := fexiot.DefaultOptions()
+		sysOpts.Seed = 3
+		sys, err := fexiot.New(sysOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
 		res, err := sys.TrainFederated(clientData, algo, 12)
 		if err != nil {
-			panic(err)
+			log.Fatal(err)
 		}
-		m := sys.Evaluate(test)
+		m, err := sys.Evaluate(test)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("\n%-7s: acc=%.3f f1=%.3f transferred=%.1fMB clusters=%v\n",
 			algo, m.Accuracy, m.F1, float64(res.TransferredBytes)/1e6, res.Clusters)
 	}

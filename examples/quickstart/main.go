@@ -5,12 +5,18 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"fexiot"
 )
 
 func main() {
-	sys := fexiot.New(fexiot.Options{Seed: 7})
+	opts := fexiot.DefaultOptions()
+	opts.Seed = 7
+	sys, err := fexiot.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 1. A training corpus: interaction graphs sampled from many synthetic
 	// homes (stands in for the crawled multi-platform datasets).
@@ -42,7 +48,10 @@ func main() {
 		fmt.Printf("  [%s] %s\n", r.Platform, r.Description)
 	}
 	g := sys.BuildGraph(home)
-	verdict := sys.Detect(g)
+	verdict, err := sys.Detect(g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\ninteraction graph: %d rules, %d causal edges\n", g.N(), len(g.Edges))
 	fmt.Printf("verdict: vulnerable=%v score=%.3f drifting=%v\n",
 		verdict.Vulnerable, verdict.Score, verdict.Drifting)
@@ -50,7 +59,10 @@ func main() {
 
 	// 4. If flagged, explain which rules interact dangerously.
 	if verdict.Vulnerable {
-		ex := sys.Explain(g)
+		ex, err := sys.Explain(g)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("\nroot-cause subgraph (fidelity %.2f, sparsity %.2f):\n",
 			ex.Fidelity, ex.Sparsity)
 		for _, r := range ex.Rules {

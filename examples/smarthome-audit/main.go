@@ -7,13 +7,19 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"fexiot"
 	"fexiot/internal/eventlog"
 )
 
 func main() {
-	sys := fexiot.New(fexiot.Options{Seed: 11})
+	opts := fexiot.DefaultOptions()
+	opts.Seed = 11
+	sys, err := fexiot.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Train on offline graphs from many homes.
 	fmt.Println("training detector on offline graphs…")
@@ -32,9 +38,9 @@ func main() {
 	var deployed []*fexiot.Rule
 	for seed := int64(77); ; seed++ {
 		deployed = fexiot.GenerateHome("safety", 14, seed)
-		log := fexiot.CleanLog(fexiot.SimulateHome(deployed, 3000, 5))
-		g := sys.BuildOnlineGraph(deployed, log)
-		if g.N() >= 4 && !sys.Detect(g).Vulnerable {
+		cleaned := fexiot.CleanLog(fexiot.SimulateHome(deployed, 3000, 5))
+		g := sys.BuildOnlineGraph(deployed, cleaned)
+		if v, err := sys.Detect(g); err == nil && g.N() >= 4 && !v.Vulnerable {
 			break
 		}
 		if seed > 177 {
@@ -56,7 +62,10 @@ func main() {
 		fmt.Println("  ", clean[i])
 	}
 	g := sys.BuildOnlineGraph(deployed, clean)
-	v := sys.Detect(g)
+	v, err := sys.Detect(g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("online graph: %d active rules, %d observed causal edges\n",
 		g.N(), len(g.Edges))
 	fmt.Printf("verdict: vulnerable=%v score=%.3f\n", v.Vulnerable, v.Score)
@@ -65,7 +74,10 @@ func main() {
 	fmt.Println("\ninjecting a fake-events attack into the same log…")
 	attacked := eventlog.Inject(clean, eventlog.FakeEvents, deployed, 0.8, 13)
 	ga := sys.BuildOnlineGraph(deployed, attacked)
-	va := sys.Detect(ga)
+	va, err := sys.Detect(ga)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("online graph: %d active rules, %d observed causal edges\n",
 		ga.N(), len(ga.Edges))
 	fmt.Printf("verdict: vulnerable=%v score=%.3f (was %.3f)\n",

@@ -2,17 +2,24 @@
 // explicable GNN system for IoT interaction vulnerability analysis (Wang et
 // al., ICDE 2023). It wraps the internal substrates behind a small facade:
 //
-//	sys := fexiot.New(fexiot.Options{})
+//	sys, err := fexiot.New(fexiot.DefaultOptions())
 //	g := sys.BuildGraph(deployedRules)          // offline interaction graph
-//	sys.TrainCentral(trainingGraphs)            // or TrainFederated(...)
-//	verdict := sys.Detect(g)                    // vulnerability verdict
-//	expl := sys.Explain(g)                      // responsible subgraph
+//	sys.TrainCentral(trainingGraphs, 8, 120)    // or TrainFederated(...)
+//	verdict, err := sys.Detect(g)               // vulnerability verdict
+//	expl, err := sys.Explain(g)                 // responsible subgraph
+//
+// Detect, Explain and Evaluate fail with ErrNotTrained (not a panic) until
+// one of the training entry points has installed a detector. New validates
+// its Options and rejects unknown models and non-positive dimensions:
+// start from DefaultOptions and override, rather than guessing which zero
+// values are meaningful.
 //
 // The examples/ directory contains runnable walkthroughs and cmd/fexbench
 // regenerates every table and figure of the paper's evaluation.
 package fexiot
 
 import (
+	"errors"
 	"fmt"
 
 	"fexiot/internal/autodiff"
@@ -26,6 +33,7 @@ import (
 	"fexiot/internal/graph"
 	"fexiot/internal/mat"
 	"fexiot/internal/ml"
+	"fexiot/internal/obs"
 	"fexiot/internal/rules"
 )
 
@@ -42,17 +50,19 @@ type (
 	Metrics = ml.Metrics
 )
 
-// Options configures a System.
+// Options configures a System. Build it with DefaultOptions and override
+// the fields you care about; New rejects non-positive dimensions and
+// unknown model names instead of silently substituting defaults.
 type Options struct {
-	// WordDim and SentenceDim size the text encoders (defaults: compact
-	// dims suitable for laptops; the paper used 300/512).
+	// WordDim and SentenceDim size the text encoders (DefaultOptions picks
+	// compact dims suitable for laptops; the paper used 300/512).
 	WordDim     int
 	SentenceDim int
 	// Hidden and EmbedDim size the GNN.
 	Hidden   int
 	EmbedDim int
-	// Model selects the representation network: "GIN" (default), "GCN" or
-	// "MAGNN".
+	// Model selects the representation network: "GIN", "GCN" or "MAGNN"
+	// (empty selects GIN).
 	Model string
 	// Seed makes every component deterministic.
 	Seed int64
@@ -60,27 +70,43 @@ type Options struct {
 	// fan-outs (0 keeps the current setting: FEXIOT_PROCS or all cores).
 	// Results are bit-identical at every setting.
 	Procs int
+	// Metrics, when non-nil, instruments the whole pipeline — training,
+	// federation and the dense kernels — into the given observability
+	// registry (serve it with obs.StartHTTP). Nil disables instrumentation
+	// at unmeasurable cost.
+	Metrics *obs.Registry
 }
 
-func (o *Options) fill() {
-	if o.WordDim == 0 {
-		o.WordDim = 48
+// DefaultOptions returns the documented defaults: a compact GIN sized for
+// laptops, seed 1. Callers introspect and override fields rather than
+// relying on zero values being patched up.
+func DefaultOptions() Options {
+	return Options{
+		WordDim:     48,
+		SentenceDim: 64,
+		Hidden:      24,
+		EmbedDim:    16,
+		Model:       "GIN",
+		Seed:        1,
 	}
-	if o.SentenceDim == 0 {
-		o.SentenceDim = 64
+}
+
+// validate rejects option sets New must not build from.
+func (o Options) validate() error {
+	switch o.Model {
+	case "", "GIN", "GCN", "MAGNN":
+	default:
+		return fmt.Errorf("fexiot: unknown model %q (valid: GIN, GCN, MAGNN)", o.Model)
 	}
-	if o.Hidden == 0 {
-		o.Hidden = 24
+	if o.WordDim < 1 || o.SentenceDim < 1 || o.Hidden < 1 || o.EmbedDim < 1 {
+		return fmt.Errorf("fexiot: dimensions must be positive "+
+			"(WordDim=%d SentenceDim=%d Hidden=%d EmbedDim=%d); start from DefaultOptions",
+			o.WordDim, o.SentenceDim, o.Hidden, o.EmbedDim)
 	}
-	if o.EmbedDim == 0 {
-		o.EmbedDim = 16
+	if o.Procs < 0 {
+		return fmt.Errorf("fexiot: Procs must be non-negative, got %d", o.Procs)
 	}
-	if o.Model == "" {
-		o.Model = "GIN"
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
+	return nil
 }
 
 // System is the assembled FexIoT pipeline: data fusion, detection and
@@ -93,18 +119,23 @@ type System struct {
 	drift    *drift.Detector
 }
 
-// New assembles a system.
-func New(opts Options) *System {
-	opts.fill()
+// New assembles a system, or reports why the options cannot be built.
+func New(opts Options) (*System, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	if opts.Procs > 0 {
 		mat.SetParallelism(opts.Procs)
+	}
+	if opts.Metrics != nil {
+		mat.InstrumentKernels(opts.Metrics)
 	}
 	enc := embed.NewEncoder(opts.WordDim, opts.SentenceDim)
 	return &System{
 		opts:    opts,
 		encoder: enc,
 		builder: fusion.NewBuilder(opts.Seed, enc),
-	}
+	}, nil
 }
 
 // newModel instantiates the configured GNN.
@@ -155,6 +186,7 @@ func (s *System) TrainCentral(graphs []*Graph, rounds, pairsPerRound int) {
 	cfg := gnn.DefaultTrainConfig(s.opts.Seed)
 	cfg.LR = 0.005
 	cfg.PairsPerEpoch = pairsPerRound
+	cfg.Metrics = s.opts.Metrics
 	opt := autodiff.NewAdam(cfg.LR)
 	opt.WeightDecay = 1e-4
 	for r := 0; r < rounds; r++ {
@@ -219,6 +251,7 @@ func (s *System) TrainFederated(clientData [][]*Graph, algo FederatedAlgorithm,
 	cfg := fed.DefaultConfig(s.opts.Seed)
 	cfg.Rounds = rounds
 	cfg.Eps1, cfg.Eps2 = 0.4, 0.95
+	cfg.Metrics = s.opts.Metrics
 	res := a.Run(clients, cfg)
 
 	var all []*Graph
@@ -256,10 +289,17 @@ type Verdict struct {
 	DriftScore float64
 }
 
-// Detect classifies an interaction graph. Panics if the system has not
-// been trained.
-func (s *System) Detect(g *Graph) Verdict {
-	s.requireTrained()
+// ErrNotTrained reports a detection, explanation or evaluation request
+// against a system with no installed detector. Test with errors.Is; train
+// via TrainCentral or TrainFederated to clear it.
+var ErrNotTrained = errors.New("fexiot: system not trained; call TrainCentral or TrainFederated first")
+
+// Detect classifies an interaction graph. It fails with ErrNotTrained
+// until the system has been trained.
+func (s *System) Detect(g *Graph) (Verdict, error) {
+	if s.detector == nil {
+		return Verdict{}, ErrNotTrained
+	}
 	score := s.detector.Score(g)
 	v := Verdict{Vulnerable: score >= 0.5, Score: score}
 	if s.drift != nil {
@@ -267,7 +307,7 @@ func (s *System) Detect(g *Graph) Verdict {
 		v.DriftScore = s.drift.Anomaly(z)
 		v.Drifting = s.drift.IsDrifting(z)
 	}
-	return v
+	return v, nil
 }
 
 // Explanation is a detected root-cause subgraph.
@@ -280,9 +320,12 @@ type Explanation struct {
 }
 
 // Explain runs the SHAP-guided Monte Carlo beam search (Algorithm 2) on a
-// graph and returns the highest-risk connected subgraph.
-func (s *System) Explain(g *Graph) Explanation {
-	s.requireTrained()
+// graph and returns the highest-risk connected subgraph. It fails with
+// ErrNotTrained until the system has been trained.
+func (s *System) Explain(g *Graph) (Explanation, error) {
+	if s.detector == nil {
+		return Explanation{}, ErrNotTrained
+	}
 	h := func(sub *graph.Graph) float64 {
 		if sub.N() == 0 {
 			return 0
@@ -300,19 +343,16 @@ func (s *System) Explain(g *Graph) Explanation {
 	for _, idx := range ex.Nodes {
 		out.Rules = append(out.Rules, g.Nodes[idx].Rule)
 	}
-	return out
+	return out, nil
 }
 
-// Evaluate computes detection metrics over labelled graphs.
-func (s *System) Evaluate(graphs []*Graph) Metrics {
-	s.requireTrained()
-	return gnn.EvaluateDetector(s.detector, graphs)
-}
-
-func (s *System) requireTrained() {
+// Evaluate computes detection metrics over labelled graphs. It fails with
+// ErrNotTrained until the system has been trained.
+func (s *System) Evaluate(graphs []*Graph) (Metrics, error) {
 	if s.detector == nil {
-		panic("fexiot: system not trained; call TrainCentral or TrainFederated first")
+		return Metrics{}, ErrNotTrained
 	}
+	return gnn.EvaluateDetector(s.detector, graphs), nil
 }
 
 // GenerateHome samples a synthetic smart-home rule deployment from the

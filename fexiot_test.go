@@ -1,6 +1,7 @@
 package fexiot_test
 
 import (
+	"errors"
 	"testing"
 
 	"fexiot"
@@ -9,8 +10,13 @@ import (
 // trainedSystem builds a small trained system for API tests.
 func trainedSystem(t *testing.T) (*fexiot.System, []*fexiot.Graph) {
 	t.Helper()
-	sys := fexiot.New(fexiot.Options{Seed: 7, WordDim: 24, SentenceDim: 32,
-		Hidden: 12, EmbedDim: 8})
+	opts := fexiot.DefaultOptions()
+	opts.Seed, opts.WordDim, opts.SentenceDim = 7, 24, 32
+	opts.Hidden, opts.EmbedDim = 12, 8
+	sys, err := fexiot.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var train []*fexiot.Graph
 	for home := 0; home < 15; home++ {
 		arch := fexiot.ArchetypeNames()[home%len(fexiot.ArchetypeNames())]
@@ -32,7 +38,10 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if g.N() < 2 {
 		t.Fatalf("graph too small: %d", g.N())
 	}
-	v := sys.Detect(g)
+	v, err := sys.Detect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if v.Score < 0 || v.Score > 1 {
 		t.Fatalf("score %v out of range", v.Score)
 	}
@@ -43,7 +52,10 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	// Explanation on a vulnerable training graph.
 	for _, tg := range train {
 		if tg.Label && tg.N() >= 6 {
-			ex := sys.Explain(tg)
+			ex, err := sys.Explain(tg)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if len(ex.NodeIndices) == 0 {
 				t.Fatal("empty explanation")
 			}
@@ -58,7 +70,10 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	// Metrics over the training set beat chance comfortably.
-	m := sys.Evaluate(train)
+	m, err := sys.Evaluate(train)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.Accuracy < 0.6 {
 		t.Fatalf("train accuracy %v suspiciously low", m.Accuracy)
 	}
@@ -79,13 +94,25 @@ func TestPublicAPIOnlinePipeline(t *testing.T) {
 	if !g.Online {
 		t.Fatal("online graph not flagged")
 	}
-	_ = sys.Detect(g)
+	if _, err := sys.Detect(g); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestPublicAPIFederated(t *testing.T) {
-	sys := fexiot.New(fexiot.Options{Seed: 3, WordDim: 24, SentenceDim: 32,
-		Hidden: 12, EmbedDim: 8})
-	builder := fexiot.New(fexiot.Options{Seed: 3, WordDim: 24, SentenceDim: 32})
+	opts := fexiot.DefaultOptions()
+	opts.Seed, opts.WordDim, opts.SentenceDim = 3, 24, 32
+	opts.Hidden, opts.EmbedDim = 12, 8
+	sys, err := fexiot.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builderOpts := fexiot.DefaultOptions()
+	builderOpts.Seed, builderOpts.WordDim, builderOpts.SentenceDim = 3, 24, 32
+	builder, err := fexiot.New(builderOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	clientData := make([][]*fexiot.Graph, 4)
 	for i := range clientData {
 		arch := fexiot.ArchetypeNames()[i%len(fexiot.ArchetypeNames())]
@@ -110,14 +137,41 @@ func TestPublicAPIFederated(t *testing.T) {
 	}
 }
 
-func TestUntrainedSystemPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	sys := fexiot.New(fexiot.Options{})
-	sys.Detect(&fexiot.Graph{})
+func TestUntrainedSystemErrors(t *testing.T) {
+	sys, err := fexiot.New(fexiot.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Detect(&fexiot.Graph{}); !errors.Is(err, fexiot.ErrNotTrained) {
+		t.Fatalf("Detect: want ErrNotTrained, got %v", err)
+	}
+	if _, err := sys.Explain(&fexiot.Graph{}); !errors.Is(err, fexiot.ErrNotTrained) {
+		t.Fatalf("Explain: want ErrNotTrained, got %v", err)
+	}
+	if _, err := sys.Evaluate(nil); !errors.Is(err, fexiot.ErrNotTrained) {
+		t.Fatalf("Evaluate: want ErrNotTrained, got %v", err)
+	}
+}
+
+func TestNewRejectsBadOptions(t *testing.T) {
+	if _, err := fexiot.New(fexiot.Options{}); err == nil {
+		t.Fatal("zero-value Options must be rejected (use DefaultOptions)")
+	}
+	bad := fexiot.DefaultOptions()
+	bad.Model = "transformer"
+	if _, err := fexiot.New(bad); err == nil {
+		t.Fatal("unknown model must be rejected")
+	}
+	bad = fexiot.DefaultOptions()
+	bad.EmbedDim = -4
+	if _, err := fexiot.New(bad); err == nil {
+		t.Fatal("negative dimension must be rejected")
+	}
+	bad = fexiot.DefaultOptions()
+	bad.Procs = -1
+	if _, err := fexiot.New(bad); err == nil {
+		t.Fatal("negative Procs must be rejected")
+	}
 }
 
 func TestArchetypeNames(t *testing.T) {

@@ -65,7 +65,9 @@ func ScaleGrads(grads map[string]*mat.Dense, s float64) {
 }
 
 // ClipGrads rescales gradients so the global norm does not exceed maxNorm.
-func ClipGrads(grads map[string]*mat.Dense, maxNorm float64) {
+// It returns the pre-clip global norm, which callers feed into training
+// telemetry (a clipped step is one where the return value exceeds maxNorm).
+func ClipGrads(grads map[string]*mat.Dense, maxNorm float64) float64 {
 	var total float64
 	for _, g := range grads {
 		for _, x := range g.Data() {
@@ -73,10 +75,11 @@ func ClipGrads(grads map[string]*mat.Dense, maxNorm float64) {
 		}
 	}
 	if total <= 0 {
-		return
+		return 0
 	}
 	norm := math.Sqrt(total)
 	if norm > maxNorm {
 		ScaleGrads(grads, maxNorm/norm)
 	}
+	return norm
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -64,12 +65,13 @@ func ChaosFederation(s Setup) *Table {
 		RoundTimeout: 10 * time.Second,
 		Quorum:       quorum,
 		MaxStrikes:   1,
+		Metrics:      s.Metrics,
 	})
 	var serverBytes int64
 	var serverErr error
 	serverDone := make(chan struct{})
 	go func() {
-		serverBytes, serverErr = srv.Run()
+		serverBytes, serverErr = srv.Run(context.Background())
 		close(serverDone)
 	}()
 
@@ -112,7 +114,7 @@ func ChaosFederation(s Setup) *Table {
 					return raw, nil
 				}
 			}
-			sessions[id], errs[id] = fedproto.RunClientSession(clientCfg, m.Params(),
+			sessions[id], errs[id] = fedproto.RunClientSession(context.Background(), clientCfg, m.Params(),
 				func(round int) map[int]float64 {
 					if id == victim && round >= 1 && !killed {
 						killed = true

@@ -18,6 +18,7 @@ import (
 	"fexiot/internal/graph"
 	"fexiot/internal/mat"
 	"fexiot/internal/ml"
+	"fexiot/internal/obs"
 )
 
 // Setup bundles the shared configuration of the federated experiments.
@@ -31,6 +32,10 @@ type Setup struct {
 	EmbedDim      int
 	Eps1, Eps2    float64
 	Seed          int64
+	// Metrics, when non-nil, threads an observability registry through
+	// every experiment's simulator, trainer and networked-federation
+	// configs (nil: zero-overhead paths everywhere).
+	Metrics *obs.Registry
 }
 
 // DefaultSetup derives experiment sizing from the active dataset scale.
@@ -61,6 +66,7 @@ func (s Setup) fedConfig() fed.Config {
 	cfg.Eps1, cfg.Eps2 = s.Eps1, s.Eps2
 	cfg.Train.LR = s.LR
 	cfg.Train.PairsPerEpoch = s.PairsPerRound
+	cfg.Metrics = s.Metrics
 	return cfg
 }
 

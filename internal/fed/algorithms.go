@@ -21,12 +21,11 @@ func (FedAvg) Name() string { return "FedAvg" }
 // Run executes federated averaging.
 func (FedAvg) Run(clients []*Client, cfg Config) *Result {
 	res := &Result{FinalClusters: uniformClusters(len(clients))}
+	sm := newSimMetrics(cfg.Metrics)
 	all := indexRange(len(clients))
 	modelParams := clients[0].Model.Params().NumElements()
 	for r := 0; r < cfg.Rounds; r++ {
-		train := cfg.Train
-		train.Seed = cfg.Seed + int64(r)
-		localTrainAll(clients, train)
+		localTrainAll(clients, cfg.roundTrain(r))
 		avg := clients[0].Model.Params().Clone()
 		AggregateParams(aggregatorOr(cfg.Aggregator), avg, paramsOf(clients, all), dataWeights(clients, all))
 		for _, c := range clients {
@@ -36,7 +35,9 @@ func (FedAvg) Run(clients []*Client, cfg Config) *Result {
 		roundBytes := int64(len(clients)) * bytesFor(modelParams) * 2
 		res.Comm.UploadBytes += int64(len(clients)) * bytesFor(modelParams)
 		res.Comm.DownloadBytes += int64(len(clients)) * bytesFor(modelParams)
-		res.Rounds = append(res.Rounds, RoundInfo{Round: r, NumClusters: 1, CommBytes: roundBytes})
+		info := RoundInfo{Round: r, NumClusters: 1, CommBytes: roundBytes}
+		res.Rounds = append(res.Rounds, info)
+		sm.record(info)
 	}
 	res.Comm.Rounds = cfg.Rounds
 	return res
@@ -54,11 +55,12 @@ func (ClientOnly) Name() string { return "Client" }
 // Run trains clients in isolation.
 func (ClientOnly) Run(clients []*Client, cfg Config) *Result {
 	res := &Result{FinalClusters: isolatedClusters(len(clients))}
+	sm := newSimMetrics(cfg.Metrics)
 	for r := 0; r < cfg.Rounds; r++ {
-		train := cfg.Train
-		train.Seed = cfg.Seed + int64(r)
-		localTrainAll(clients, train)
-		res.Rounds = append(res.Rounds, RoundInfo{Round: r, NumClusters: len(clients)})
+		localTrainAll(clients, cfg.roundTrain(r))
+		info := RoundInfo{Round: r, NumClusters: len(clients)}
+		res.Rounds = append(res.Rounds, info)
+		sm.record(info)
 	}
 	res.Comm.Rounds = cfg.Rounds
 	return res
@@ -113,12 +115,11 @@ func (a *clusteredFL) Name() string { return a.name }
 // Run executes clustered whole-model FL.
 func (a *clusteredFL) Run(clients []*Client, cfg Config) *Result {
 	res := &Result{}
+	sm := newSimMetrics(cfg.Metrics)
 	modelParams := clients[0].Model.Params().NumElements()
 	clusters := [][]int{indexRange(len(clients))}
 	for r := 0; r < cfg.Rounds; r++ {
-		train := cfg.Train
-		train.Seed = cfg.Seed + int64(r)
-		localTrainAll(clients, train)
+		localTrainAll(clients, cfg.roundTrain(r))
 		signals := make([][]float64, len(clients))
 		for i, c := range clients {
 			signals[i] = a.signal(c)
@@ -150,7 +151,9 @@ func (a *clusteredFL) Run(clients []*Client, cfg Config) *Result {
 		roundBytes := int64(len(clients)) * bytesFor(modelParams) * 2
 		res.Comm.UploadBytes += int64(len(clients)) * bytesFor(modelParams)
 		res.Comm.DownloadBytes += int64(len(clients)) * bytesFor(modelParams)
-		res.Rounds = append(res.Rounds, RoundInfo{Round: r, NumClusters: len(clusters), CommBytes: roundBytes})
+		info := RoundInfo{Round: r, NumClusters: len(clusters), CommBytes: roundBytes}
+		res.Rounds = append(res.Rounds, info)
+		sm.record(info)
 	}
 	res.Comm.Rounds = cfg.Rounds
 	res.FinalClusters = clusterAssignment(len(clients), clusters)

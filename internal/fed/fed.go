@@ -12,6 +12,7 @@ import (
 	"fexiot/internal/graph"
 	"fexiot/internal/mat"
 	"fexiot/internal/ml"
+	"fexiot/internal/obs"
 )
 
 // Client is one household participating in federated training. It owns a
@@ -152,6 +153,47 @@ type Config struct {
 	// FedAvg weighted mean; the robust alternatives (trimmed mean, median,
 	// norm-clipped mean, Krum) bound the damage Byzantine clients can do.
 	Aggregator Aggregator
+	// Metrics, when non-nil, receives simulator telemetry (per-round
+	// communication bytes, cluster counts, round durations) and is
+	// propagated into every client's local training config. Nil keeps the
+	// simulator on the zero-overhead path.
+	Metrics *obs.Registry
+}
+
+// roundTrain derives round r's local training config: the round-keyed seed
+// plus the federation's observability registry.
+func (c Config) roundTrain(r int) gnn.TrainConfig {
+	t := c.Train
+	t.Seed = c.Seed + int64(r)
+	t.Metrics = c.Metrics
+	return t
+}
+
+// simMetrics are the nil-gated telemetry handles of the in-process
+// federated simulator.
+type simMetrics struct {
+	rounds   *obs.Counter   // fexiot_sim_rounds_total
+	comm     *obs.Counter   // fexiot_sim_comm_bytes_total
+	clusters *obs.Gauge     // fexiot_sim_clusters
+	roundDur *obs.Histogram // fexiot_sim_round_duration_seconds
+}
+
+// newSimMetrics resolves the handles; a nil registry yields nil handles and
+// every telemetry call collapses to a nil check.
+func newSimMetrics(r *obs.Registry) simMetrics {
+	return simMetrics{
+		rounds:   r.Counter("fexiot_sim_rounds_total", "federated simulator rounds completed"),
+		comm:     r.Counter("fexiot_sim_comm_bytes_total", "simulated federation communication cost (upload + download bytes)"),
+		clusters: r.Gauge("fexiot_sim_clusters", "client clusters at the bottom layer after the most recent round"),
+		roundDur: r.Histogram("fexiot_sim_round_duration_seconds", "wall time of one simulated federated round (local training + aggregation)", nil),
+	}
+}
+
+// record logs one closed simulator round.
+func (m simMetrics) record(info RoundInfo) {
+	m.rounds.Inc()
+	m.comm.Add(info.CommBytes)
+	m.clusters.Set(float64(info.NumClusters))
 }
 
 // DefaultConfig mirrors the paper's settings (ε1 = 1.2, ε2 = 0.8, Adam with

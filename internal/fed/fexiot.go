@@ -2,6 +2,7 @@ package fed
 
 import (
 	"fexiot/internal/mat"
+	"fexiot/internal/obs"
 )
 
 // FexIoT is the paper's dynamic layer-wise clustering-based federated GNN
@@ -40,12 +41,12 @@ func (*FexIoT) Name() string { return "FexIoT" }
 // Run executes Algorithm 1.
 func (f *FexIoT) Run(clients []*Client, cfg Config) *Result {
 	res := &Result{}
+	sm := newSimMetrics(cfg.Metrics)
 	numLayers := clients[0].Model.Params().NumLayers()
 	var finalBottom [][]int
 	for r := 0; r < cfg.Rounds; r++ {
-		train := cfg.Train
-		train.Seed = cfg.Seed + int64(r)
-		localTrainAll(clients, train)
+		sp := obs.StartSpan(sm.roundDur)
+		localTrainAll(clients, cfg.roundTrain(r))
 		// Per-layer flattened weights and update norms.
 		layerWeights := make([][][]float64, numLayers) // [layer][client]
 		layerNorms := make([][]float64, numLayers)
@@ -123,11 +124,14 @@ func (f *FexIoT) Run(clients []*Client, cfg Config) *Result {
 
 		res.Comm.UploadBytes += commUp
 		res.Comm.DownloadBytes += commDown
-		res.Rounds = append(res.Rounds, RoundInfo{
+		info := RoundInfo{
 			Round:       r,
 			NumClusters: len(leafClusters),
 			CommBytes:   commUp + commDown,
-		})
+		}
+		res.Rounds = append(res.Rounds, info)
+		sp.End()
+		sm.record(info)
 		finalBottom = leafClusters
 	}
 	res.Comm.Rounds = cfg.Rounds

@@ -1,6 +1,7 @@
 package fedproto
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -72,7 +73,7 @@ func TestQuorumSurvivesKilledClient(t *testing.T) {
 	})
 	serverErr := make(chan error, 1)
 	go func() {
-		_, err := srv.Run()
+		_, err := srv.Run(context.Background())
 		serverErr <- err
 	}()
 
@@ -105,7 +106,7 @@ func TestQuorumSurvivesKilledClient(t *testing.T) {
 			}
 			conn := Wrap(raw)
 			defer conn.Close()
-			clientErrs[id] = RunClientLoop(conn, id, 10, p,
+			clientErrs[id] = RunClientLoop(context.Background(), conn, id, 10, p,
 				func(round int) map[int]float64 {
 					if id == 3 && round == 1 {
 						fc.Kill() // crash mid-federation, mid-round
@@ -184,7 +185,7 @@ func TestEvictionAndRejoinResync(t *testing.T) {
 	})
 	serverErr := make(chan error, 1)
 	go func() {
-		_, err := srv.Run()
+		_, err := srv.Run(context.Background())
 		serverErr <- err
 	}()
 	// Let the listener come up before the sessions dial.
@@ -206,7 +207,7 @@ func TestEvictionAndRejoinResync(t *testing.T) {
 			defer wg.Done()
 			p := scriptParams()
 			params[id] = p
-			stats[id], errs[id] = RunClientSession(ClientConfig{
+			stats[id], errs[id] = RunClientSession(context.Background(), ClientConfig{
 				Addr: addr, ID: id, DataSize: 10,
 				OpTimeout: 5 * time.Second, Seed: int64(id),
 			}, p, func(round int) map[int]float64 {
@@ -226,7 +227,7 @@ func TestEvictionAndRejoinResync(t *testing.T) {
 		var fc *FaultConn
 		dials := 0
 		blackholed := false
-		stats[2], errs[2] = RunClientSession(ClientConfig{
+		stats[2], errs[2] = RunClientSession(context.Background(), ClientConfig{
 			Addr: addr, ID: 2, DataSize: 10,
 			InitialBackoff: 10 * time.Millisecond,
 			MaxBackoff:     20 * time.Millisecond,

@@ -1,6 +1,7 @@
 package fedproto
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
@@ -24,16 +25,22 @@ const (
 // per-layer update norms. The round counter always follows the server's
 // announcements, so a client that reconnects mid-federation resumes at the
 // federation's round rather than its own.
-func RunClientLoop(conn *Conn, clientID, dataSize int,
+//
+// Cancelling ctx closes the connection, unblocking any in-flight Send or
+// Recv; the loop then returns context.Cause(ctx) instead of the socket
+// error the teardown provoked.
+func RunClientLoop(ctx context.Context, conn *Conn, clientID, dataSize int,
 	params *autodiff.ParamSet,
 	localRound func(round int) map[int]float64) error {
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
 	if err := conn.Send(&Message{Kind: MsgHello, ClientID: clientID,
 		DataSize: dataSize}); err != nil {
-		return err
+		return loopErr(ctx, err)
 	}
 	syncMsg, err := conn.Recv()
 	if err != nil {
-		return err
+		return loopErr(ctx, err)
 	}
 	if syncMsg.Kind != MsgModel {
 		return fmt.Errorf("fedproto: unexpected sync kind %d", syncMsg.Kind)
@@ -51,15 +58,18 @@ func RunClientLoop(conn *Conn, clientID, dataSize int,
 		layers[i] = i
 	}
 	for round := syncMsg.Round; ; {
+		if err := ctx.Err(); err != nil {
+			return context.Cause(ctx)
+		}
 		norms := localRound(round)
 		up := &Message{Kind: MsgUpdate, ClientID: clientID, Round: round,
 			Layers: EncodeLayers(params, layers, norms)}
 		if err := conn.Send(up); err != nil {
-			return err
+			return loopErr(ctx, err)
 		}
 		reply, err := conn.Recv()
 		if err != nil {
-			return err
+			return loopErr(ctx, err)
 		}
 		if reply.Kind == MsgDone {
 			return nil
@@ -75,6 +85,15 @@ func RunClientLoop(conn *Conn, clientID, dataSize int,
 		}
 		round = reply.Round + 1
 	}
+}
+
+// loopErr prefers the cancellation cause over the socket error the
+// cancellation-driven teardown provoked.
+func loopErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return err
 }
 
 // ClientConfig shapes a reconnecting client session.
@@ -115,9 +134,12 @@ type SessionStats struct {
 // connection failure: any error short of federation completion tears the
 // connection down and reconnects with exponential backoff plus jitter,
 // resuming at the server-announced round. It returns once the server
-// declares the federation finished (a Final or MsgDone reply) or after
-// MaxAttempts consecutive attempts that made no progress.
-func RunClientSession(cfg ClientConfig, params *autodiff.ParamSet,
+// declares the federation finished (a Final or MsgDone reply), after
+// MaxAttempts consecutive attempts that made no progress, or as soon as
+// ctx is cancelled — cancellation interrupts both in-flight protocol
+// exchanges and backoff sleeps, and the session reports
+// context.Cause(ctx).
+func RunClientSession(ctx context.Context, cfg ClientConfig, params *autodiff.ParamSet,
 	localRound func(round int) map[int]float64) (SessionStats, error) {
 	if cfg.InitialBackoff <= 0 {
 		cfg.InitialBackoff = DefaultInitialBackoff
@@ -134,7 +156,17 @@ func RunClientSession(cfg ClientConfig, params *autodiff.ParamSet,
 	}
 	sleep := cfg.Sleep
 	if sleep == nil {
-		sleep = time.Sleep
+		// The default sleep is cancellation-aware so a SIGTERM during
+		// backoff does not stall shutdown by up to MaxBackoff; injected
+		// sleeps (tests) keep their own semantics.
+		sleep = func(d time.Duration) {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+			}
+		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed*2654435761 + int64(cfg.ID) + 1))
 
@@ -143,6 +175,9 @@ func RunClientSession(cfg ClientConfig, params *autodiff.ParamSet,
 	attempts := 0
 	var lastErr error
 	for {
+		if ctx.Err() != nil {
+			return stats, context.Cause(ctx)
+		}
 		raw, err := dial(cfg.Addr)
 		if err != nil {
 			lastErr = err
@@ -151,13 +186,16 @@ func RunClientSession(cfg ClientConfig, params *autodiff.ParamSet,
 			if cfg.OpTimeout > 0 {
 				conn.SetOpDeadline(cfg.OpTimeout)
 			}
-			err = RunClientLoop(conn, cfg.ID, cfg.DataSize, params, localRound)
+			err = RunClientLoop(ctx, conn, cfg.ID, cfg.DataSize, params, localRound)
 			in, out := conn.Bytes()
 			stats.InBytes += in
 			stats.OutBytes += out
 			conn.Close()
 			if err == nil {
 				return stats, nil
+			}
+			if ctx.Err() != nil {
+				return stats, context.Cause(ctx)
 			}
 			lastErr = err
 			if in > 0 {

@@ -1,0 +1,111 @@
+package fedproto
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestServerRunCancelFlushesCheckpoint cancels a running federation and
+// asserts the graceful-shutdown contract: Run returns an error wrapping
+// context.Canceled and the final checkpoint on disk records every closed
+// round, so a restarted server resumes where the shutdown caught this one.
+func TestServerRunCancelFlushesCheckpoint(t *testing.T) {
+	addr := freeAddr(t)
+	ckpt := filepath.Join(t.TempDir(), "fed.ckpt")
+	srv := NewServer(ServerConfig{
+		Addr:           addr,
+		Clients:        1,
+		Rounds:         1000, // far more than will run: only cancel ends it
+		NumLayers:      2,
+		RoundTimeout:   10 * time.Second,
+		CheckpointPath: ckpt,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	serverDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(ctx)
+		serverDone <- err
+	}()
+
+	// One scripted client; cancel both sides once two rounds have closed.
+	roundsSeen := make(chan int, 1000)
+	clientDone := make(chan error, 1)
+	go func() {
+		p := scriptParams()
+		_, err := RunClientSession(ctx, ClientConfig{
+			Addr: addr, ID: 0, DataSize: 10,
+			OpTimeout: 10 * time.Second, MaxAttempts: 3,
+		}, p, func(round int) map[int]float64 {
+			roundsSeen <- round
+			addDelta(p, 0.1)
+			return zeroNorms(p)
+		})
+		clientDone <- err
+	}()
+
+	for {
+		select {
+		case r := <-roundsSeen:
+			if r >= 2 {
+				goto cancelNow
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("federation made no progress")
+		}
+	}
+cancelNow:
+	cancel()
+
+	srvErr := <-serverDone
+	if srvErr == nil {
+		t.Fatal("cancelled Run must not report success")
+	}
+	if !errors.Is(srvErr, context.Canceled) {
+		t.Fatalf("Run error %v must wrap context.Canceled", srvErr)
+	}
+	if err := <-clientDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("client session error %v must wrap context.Canceled", err)
+	}
+
+	ck, err := LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatalf("shutdown checkpoint missing: %v", err)
+	}
+	if ck.Round < 2 {
+		t.Fatalf("checkpoint resumes at round %d, want >= 2", ck.Round)
+	}
+	if len(ck.Global) == 0 {
+		t.Fatal("checkpoint carries no global model")
+	}
+}
+
+// TestClientSessionCancelDuringBackoff cancels a session that is stuck
+// redialling a dead server and asserts it returns promptly with the
+// cancellation cause instead of sleeping out its backoff schedule.
+func TestClientSessionCancelDuringBackoff(t *testing.T) {
+	addr := freeAddr(t) // reserved and released: nothing listens here
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunClientSession(ctx, ClientConfig{
+			Addr: addr, ID: 0, DataSize: 1,
+			InitialBackoff: 10 * time.Second, // without cancel, one retry sleeps 10s
+			MaxBackoff:     10 * time.Second,
+			MaxAttempts:    5,
+		}, scriptParams(), func(round int) map[int]float64 { return nil })
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("session error %v must wrap context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled session did not return before its backoff expired")
+	}
+}

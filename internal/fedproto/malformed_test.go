@@ -1,6 +1,7 @@
 package fedproto
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -109,7 +110,7 @@ func TestServerRejectsBadUpdates(t *testing.T) {
 			})
 			done := make(chan error, 1)
 			go func() {
-				_, err := srv.Run()
+				_, err := srv.Run(context.Background())
 				done <- err
 			}()
 

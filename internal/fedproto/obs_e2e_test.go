@@ -1,0 +1,158 @@
+package fedproto
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fexiot/internal/obs"
+)
+
+// scrape fetches one observability endpoint from the live obs server.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return string(body)
+}
+
+// metricValue extracts the value of an unlabelled sample from a Prometheus
+// text exposition, or -1 when the metric is absent.
+func metricValue(text, name string) float64 {
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		if v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64); err == nil {
+			return v
+		}
+	}
+	return -1
+}
+
+// TestObservabilityEndToEnd runs a real two-client loopback federation with
+// an observability registry attached, scrapes the live /metrics endpoint
+// mid-run and after completion, and asserts that the acceptance metrics
+// exist and that round counters advance.
+func TestObservabilityEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	hs, err := obs.StartHTTP("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hs.Close()
+	base := "http://" + hs.Addr()
+
+	const rounds = 3
+	addr := freeAddr(t)
+	srv := NewServer(ServerConfig{
+		Addr:         addr,
+		Clients:      2,
+		Rounds:       rounds,
+		Eps1:         0.4,
+		Eps2:         0.95,
+		NumLayers:    2,
+		RoundTimeout: 10 * time.Second,
+		Metrics:      reg,
+	})
+	serverDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(context.Background())
+		serverDone <- err
+	}()
+
+	// A pre-run scrape must already expose the registered families with
+	// zero counts (the golden-path "dashboards light up before round 1").
+	early := scrape(t, base+"/metrics")
+	for _, name := range []string{
+		"fexiot_round_duration_seconds",
+		"fexiot_round_responders",
+		"fexiot_clients_evicted_total",
+		"fexiot_bytes_received_total",
+	} {
+		if !strings.Contains(early, "# TYPE "+name+" ") {
+			t.Fatalf("pre-run /metrics missing family %s:\n%s", name, early)
+		}
+	}
+	if got := metricValue(early, "fexiot_rounds_completed_total"); got != 0 {
+		t.Fatalf("rounds_completed before the run = %v, want 0", got)
+	}
+
+	var wg sync.WaitGroup
+	for id := 0; id < 2; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := scriptParams()
+			_, err := RunClientSession(context.Background(), ClientConfig{
+				Addr: addr, ID: id, DataSize: 10 + id,
+				OpTimeout: 10 * time.Second, Seed: int64(id),
+			}, p, func(round int) map[int]float64 {
+				addDelta(p, 0.1)
+				return zeroNorms(p)
+			})
+			if err != nil {
+				t.Errorf("client %d: %v", id, err)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if err := <-serverDone; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+
+	text := scrape(t, base+"/metrics")
+	if got := metricValue(text, "fexiot_rounds_completed_total"); got != rounds {
+		t.Fatalf("fexiot_rounds_completed_total = %v, want %d\n%s", got, rounds, text)
+	}
+	if got := metricValue(text, "fexiot_round_responders"); got != 2 {
+		t.Fatalf("fexiot_round_responders = %v, want 2", got)
+	}
+	if got := metricValue(text, "fexiot_clients_evicted_total"); got != 0 {
+		t.Fatalf("fexiot_clients_evicted_total = %v, want 0", got)
+	}
+	if got := metricValue(text, "fexiot_bytes_received_total"); got <= 0 {
+		t.Fatalf("fexiot_bytes_received_total = %v, want > 0", got)
+	}
+	if got := metricValue(text, "fexiot_bytes_sent_total"); got <= 0 {
+		t.Fatalf("fexiot_bytes_sent_total = %v, want > 0", got)
+	}
+	if got := metricValue(text, "fexiot_round_duration_seconds_count"); got != rounds {
+		t.Fatalf("fexiot_round_duration_seconds_count = %v, want %d", got, rounds)
+	}
+	if !strings.Contains(text, `fexiot_aggregate_duration_seconds_count{rule="fedavg"} 3`) {
+		t.Fatalf("aggregate histogram missing fedavg rule label:\n%s", text)
+	}
+
+	// /statusz mirrors the same counters as structured JSON.
+	var st obs.StatusSnapshot
+	if err := json.Unmarshal([]byte(scrape(t, base+"/statusz")), &st); err != nil {
+		t.Fatalf("statusz: %v", err)
+	}
+	series, ok := st.Metrics["fexiot_rounds_completed_total"]
+	if !ok || len(series) != 1 || series[0].Value != rounds {
+		t.Fatalf("statusz rounds_completed = %+v, want value %d", series, rounds)
+	}
+
+	// pprof is live on the same mux.
+	if body := scrape(t, base+"/debug/pprof/cmdline"); body == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"fexiot/internal/autodiff"
 	"fexiot/internal/mat"
+	"fexiot/internal/obs"
 )
 
 // MsgKind tags protocol messages.
@@ -83,18 +84,23 @@ func ApplyLayers(p *autodiff.ParamSet, layers []LayerPayload) error {
 	return nil
 }
 
-// countingConn wraps a connection and tallies transferred bytes.
+// countingConn wraps a connection and tallies transferred bytes, mirroring
+// each tally into the (possibly nil) observability counters installed by
+// Conn.Instrument.
 type countingConn struct {
 	net.Conn
 	read, written *int64
 	mu            *sync.Mutex
+	pc            *Conn
 }
 
 func (c countingConn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
 	c.mu.Lock()
 	*c.read += int64(n)
+	in := c.pc.obsIn
 	c.mu.Unlock()
+	in.Add(int64(n)) // nil-safe
 	return n, err
 }
 
@@ -102,7 +108,9 @@ func (c countingConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
 	c.mu.Lock()
 	*c.written += int64(n)
+	out := c.pc.obsOut
 	c.mu.Unlock()
+	out.Add(int64(n)) // nil-safe
 	return n, err
 }
 
@@ -117,15 +125,26 @@ type Conn struct {
 	mu                sync.Mutex
 	inBytes, outBytes int64
 	opDeadline        time.Duration
+	obsIn, obsOut     *obs.Counter
 }
 
 // Wrap builds a protocol connection over a raw socket.
 func Wrap(c net.Conn) *Conn {
 	pc := &Conn{raw: c}
-	counted := countingConn{Conn: c, read: &pc.inBytes, written: &pc.outBytes, mu: &pc.mu}
+	counted := countingConn{Conn: c, read: &pc.inBytes, written: &pc.outBytes, mu: &pc.mu, pc: pc}
 	pc.enc = gob.NewEncoder(counted)
 	pc.dec = gob.NewDecoder(counted)
 	return pc
+}
+
+// Instrument mirrors this connection's byte tallies into observability
+// counters (either may be nil). The server installs its bytes_received /
+// bytes_sent counters here at admission so per-connection accounting and
+// the scrapeable totals stay in lockstep.
+func (c *Conn) Instrument(in, out *obs.Counter) {
+	c.mu.Lock()
+	c.obsIn, c.obsOut = in, out
+	c.mu.Unlock()
 }
 
 // Send writes one message.

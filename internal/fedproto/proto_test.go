@@ -1,6 +1,7 @@
 package fedproto
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -101,7 +102,7 @@ func TestEndToEndTCP(t *testing.T) {
 	serverBytes := make(chan int64, 1)
 	serverErr := make(chan error, 1)
 	go func() {
-		total, err := srv.Run()
+		total, err := srv.Run(context.Background())
 		serverBytes <- total
 		serverErr <- err
 	}()
@@ -134,7 +135,7 @@ func TestEndToEndTCP(t *testing.T) {
 				return
 			}
 			defer conn.Close()
-			errs[id] = RunClientLoop(conn, id, len(data), m.Params(),
+			errs[id] = RunClientLoop(context.Background(), conn, id, len(data), m.Params(),
 				func(round int) map[int]float64 {
 					before := m.Params().Clone()
 					cfg.Seed = int64(id*100 + round)

@@ -1,6 +1,7 @@
 package fedproto
 
 import (
+	"context"
 	"errors"
 	"math"
 	"net"
@@ -55,7 +56,7 @@ func TestNaNClientEvicted(t *testing.T) {
 	})
 	serverErr := make(chan error, 1)
 	go func() {
-		_, err := srv.Run()
+		_, err := srv.Run(context.Background())
 		serverErr <- err
 	}()
 
@@ -83,7 +84,7 @@ func TestNaNClientEvicted(t *testing.T) {
 			}
 			conn := Wrap(raw)
 			defer conn.Close()
-			clientErrs[id] = RunClientLoop(conn, id, 10, p,
+			clientErrs[id] = RunClientLoop(context.Background(), conn, id, 10, p,
 				func(round int) map[int]float64 {
 					addDelta(p, float64(id+1)*0.1)
 					if id == 3 && round == 1 {
@@ -214,7 +215,7 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 				defer wg.Done()
 				p := scriptParams()
 				params[id] = p
-				stats[id], errs[id] = RunClientSession(ClientConfig{
+				stats[id], errs[id] = RunClientSession(context.Background(), ClientConfig{
 					Addr: addr, ID: id, DataSize: 10,
 					InitialBackoff: 10 * time.Millisecond,
 					MaxBackoff:     50 * time.Millisecond,
@@ -235,7 +236,7 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 	refAddr := freeAddr(t)
 	refSrv := NewServer(serverCfg(refAddr, ""))
 	refDone := make(chan error, 1)
-	go func() { _, err := refSrv.Run(); refDone <- err }()
+	go func() { _, err := refSrv.Run(context.Background()); refDone <- err }()
 	refParams, _, refErrs, refWg := runClients(refAddr, 0)
 	refWg.Wait()
 	if err := <-refDone; err != nil {
@@ -253,7 +254,7 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 	addr := freeAddr(t)
 	srv1 := NewServer(serverCfg(addr, ckpt))
 	done1 := make(chan error, 1)
-	go func() { _, err := srv1.Run(); done1 <- err }()
+	go func() { _, err := srv1.Run(context.Background()); done1 <- err }()
 	params, stats, errs, wg := runClients(addr, 30*time.Millisecond)
 
 	deadline := time.Now().Add(15 * time.Second)
@@ -272,7 +273,7 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 
 	srv2 := NewServer(serverCfg(addr, ckpt))
 	done2 := make(chan error, 1)
-	go func() { _, err := srv2.Run(); done2 <- err }()
+	go func() { _, err := srv2.Run(context.Background()); done2 <- err }()
 
 	wg.Wait()
 	select {

@@ -1,6 +1,7 @@
 package fedproto
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -11,6 +12,7 @@ import (
 
 	"fexiot/internal/fed"
 	"fexiot/internal/mat"
+	"fexiot/internal/obs"
 )
 
 // DefaultRoundTimeout bounds each per-client read and write when
@@ -76,6 +78,11 @@ type ServerConfig struct {
 	// CheckpointEvery is the snapshot cadence in closed rounds; zero
 	// selects 1 (snapshot after every round).
 	CheckpointEvery int
+	// Metrics, when non-nil, receives server telemetry: round durations and
+	// responder counts, eviction/rejoin/strike totals, wire bytes in both
+	// directions, checkpoint and aggregation latency. Nil keeps every
+	// instrumentation point on the zero-overhead path.
+	Metrics *obs.Registry
 }
 
 // roundTimeout resolves the configured deadline policy.
@@ -183,7 +190,8 @@ type ServerStats struct {
 // are re-admitted by replaying the current aggregated model along with the
 // round number to resume at.
 type Server struct {
-	cfg ServerConfig
+	cfg     ServerConfig
+	metrics serverMetrics
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -206,7 +214,7 @@ type Server struct {
 
 // NewServer creates a server.
 func NewServer(cfg ServerConfig) *Server {
-	s := &Server{cfg: cfg}
+	s := &Server{cfg: cfg, metrics: newServerMetrics(cfg.Metrics, cfg.Aggregator)}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -224,7 +232,13 @@ func (s *Server) Stats() ServerStats {
 // rounds and returns total transferred bytes (both directions, all
 // clients). It keeps accepting connections for the whole run so evicted or
 // crashed clients can rejoin mid-federation.
-func (s *Server) Run() (int64, error) {
+//
+// Cancelling ctx is the graceful shutdown path: the server stops as if
+// Stop had been called, flushes one final checkpoint of the last closed
+// round (when checkpointing is configured) so a restarted server resumes
+// exactly where cancellation caught this one, and returns an error
+// wrapping context.Cause(ctx).
+func (s *Server) Run(ctx context.Context) (int64, error) {
 	if err := s.restoreCheckpoint(); err != nil {
 		return 0, err
 	}
@@ -237,6 +251,9 @@ func (s *Server) Run() (int64, error) {
 	// not leak fds.
 	defer s.closeAll()
 
+	stop := context.AfterFunc(ctx, s.Stop)
+	defer stop()
+
 	go s.acceptLoop(ln)
 
 	s.mu.Lock()
@@ -244,8 +261,12 @@ func (s *Server) Run() (int64, error) {
 		s.cond.Wait()
 	}
 	if s.closed {
+		start := s.startRound
 		s.mu.Unlock()
-		return s.totalBytes(), fmt.Errorf("fedproto: server stopped before round %d", s.startRound)
+		if ctx.Err() != nil {
+			return s.totalBytes(), s.cancelled(ctx, start)
+		}
+		return s.totalBytes(), fmt.Errorf("fedproto: server stopped before round %d", start)
 	}
 	if err := s.acceptErr; err != nil && s.aliveCount() < s.cfg.Clients {
 		s.mu.Unlock()
@@ -256,10 +277,29 @@ func (s *Server) Run() (int64, error) {
 
 	for round := start; round < s.cfg.Rounds; round++ {
 		if err := s.runRound(round); err != nil {
+			if ctx.Err() != nil {
+				// The round died because cancellation tore the sockets down,
+				// not because the federation failed: report the shutdown,
+				// with state durable as of the last closed round.
+				return s.totalBytes(), s.cancelled(ctx, round)
+			}
 			return s.totalBytes(), err
 		}
 	}
 	return s.totalBytes(), nil
+}
+
+// cancelled flushes the shutdown checkpoint (rounds [0, nextRound) have
+// closed) and builds Run's cancellation error.
+func (s *Server) cancelled(ctx context.Context, nextRound int) error {
+	if s.cfg.CheckpointPath != "" {
+		if err := s.saveCheckpoint(nextRound); err != nil {
+			return fmt.Errorf("fedproto: shutdown checkpoint: %w (after %w)",
+				err, context.Cause(ctx))
+		}
+	}
+	return fmt.Errorf("fedproto: server stopped before round %d: %w",
+		nextRound, context.Cause(ctx))
 }
 
 // Stop crashes the server mid-federation: every socket is torn down and no
@@ -301,6 +341,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // so a rejoiner resumes at the server's round instead of desyncing.
 func (s *Server) admit(raw net.Conn) {
 	c := Wrap(raw)
+	c.Instrument(s.metrics.bytesIn, s.metrics.bytesOut)
 	s.recvDeadline(c)
 	hello, err := c.Recv()
 	if err != nil || hello.Kind != MsgHello {
@@ -326,8 +367,10 @@ func (s *Server) admit(raw net.Conn) {
 			st.conn.Close()
 		}
 		s.stats.Rejoined++
+		s.metrics.rejoined.Inc()
 	}
 	st.conn, st.size, st.strikes, st.alive = c, hello.DataSize, 0, true
+	s.metrics.live.Set(float64(s.aliveCount()))
 	// A client re-admitted after a server restart inherits the strike
 	// state the checkpoint recorded for it (consumed once; later
 	// reconnects reset to zero as usual, having proven liveness).
@@ -383,6 +426,8 @@ func (s *Server) dropIfCurrent(st *clientState, conn *Conn) {
 	}
 	st.alive = false
 	s.stats.Evicted++
+	s.metrics.evicted.Inc()
+	s.metrics.live.Set(float64(s.aliveCount()))
 	conn.Close()
 }
 
@@ -397,6 +442,8 @@ type recvResult struct {
 // runRound collects one round of updates from every live client, closes
 // the round at quorum, aggregates, and replies to the contributors.
 func (s *Server) runRound(round int) error {
+	sp := obs.StartSpan(s.metrics.roundDur)
+	defer sp.End()
 	s.mu.Lock()
 	s.round = round
 	var live []recvResult
@@ -462,6 +509,7 @@ func (s *Server) runRound(round int) error {
 			continue
 		}
 		errs = append(errs, fmt.Errorf("fedproto: round %d client %d: %w", round, r.st.id, r.err))
+		s.metrics.rejected.Inc()
 		if r.st.conn != r.conn {
 			continue // rejoined on a fresh socket mid-round; stale error
 		}
@@ -469,6 +517,7 @@ func (s *Server) runRound(round int) error {
 		if errors.As(r.err, &nerr) && nerr.Timeout() {
 			// Silence: strike, evict only after MaxStrikes in a row.
 			r.st.strikes++
+			s.metrics.strikes.Inc()
 			if ms := s.maxStrikes(); ms > 0 && r.st.strikes >= ms {
 				s.dropIfCurrent(r.st, r.conn)
 			}
@@ -483,6 +532,7 @@ func (s *Server) runRound(round int) error {
 
 	need := quorumCount(s.quorumFrac(), len(live))
 	if len(responders) < need {
+		s.metrics.quorumLost.Inc()
 		errs = append([]error{fmt.Errorf("fedproto: round %d: %w (%d/%d updates, quorum %d)",
 			round, ErrQuorumLost, len(responders), len(live), need)}, errs...)
 		return errors.Join(errs...)
@@ -492,19 +542,26 @@ func (s *Server) runRound(round int) error {
 	// fed.FexIoT with the same FedAvg quorum weighting; the configured
 	// aggregator decides how each cluster's layer weights combine.
 	agg := newRoundAgg(s.cfg, s.aggregator(), upd, sizes)
+	asp := obs.StartSpan(s.metrics.aggDur)
 	replies := agg.run()
 	global := agg.globalMean()
+	asp.End()
 
 	s.mu.Lock()
 	s.global = global
 	s.stats.RoundsCompleted++
 	s.stats.Responders = append(s.stats.Responders, len(responders))
 	s.mu.Unlock()
+	s.metrics.rounds.Inc()
+	s.metrics.responders.Set(float64(len(responders)))
 
 	// Durability point: the round is closed and the global model final, so
 	// this is the state a restarted server must resume from.
 	if s.cfg.CheckpointPath != "" && (round+1)%s.checkpointEvery() == 0 {
-		if err := s.saveCheckpoint(round + 1); err != nil {
+		csp := obs.StartSpan(s.metrics.ckptDur)
+		err := s.saveCheckpoint(round + 1)
+		csp.End()
+		if err != nil {
 			return fmt.Errorf("fedproto: round %d checkpoint: %w", round, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package fedproto
 
 import (
+	"context"
 	"errors"
 	"net"
 	"strings"
@@ -50,7 +51,7 @@ func TestServerHungClientFailsRound(t *testing.T) {
 	})
 	done := make(chan error, 1)
 	go func() {
-		_, err := srv.Run()
+		_, err := srv.Run(context.Background())
 		done <- err
 	}()
 
@@ -104,7 +105,7 @@ func TestServerSurfacesEveryFailedClient(t *testing.T) {
 	})
 	done := make(chan error, 1)
 	go func() {
-		_, err := srv.Run()
+		_, err := srv.Run(context.Background())
 		done <- err
 	}()
 

@@ -7,6 +7,7 @@ import (
 	"fexiot/internal/graph"
 	"fexiot/internal/mat"
 	"fexiot/internal/ml"
+	"fexiot/internal/obs"
 	"fexiot/internal/rng"
 )
 
@@ -28,6 +29,33 @@ type TrainConfig struct {
 	// aborted round restores the weights captured at entry, so divergence
 	// never propagates NaN into the federation.
 	DivergeFactor float64
+	// Metrics, when non-nil, receives training telemetry: contrastive loss,
+	// gradient norm, clip and divergence events, and per-round training
+	// time. Nil (the default) keeps training on the zero-overhead path.
+	Metrics *obs.Registry
+}
+
+// trainMetrics are the nil-gated telemetry handles of one training round.
+type trainMetrics struct {
+	loss     *obs.Gauge     // fexiot_train_loss
+	gradNorm *obs.Gauge     // fexiot_train_grad_norm
+	clips    *obs.Counter   // fexiot_train_grad_clip_total
+	diverged *obs.Counter   // fexiot_train_divergence_total
+	rounds   *obs.Counter   // fexiot_train_rounds_total
+	roundDur *obs.Histogram // fexiot_train_round_duration_seconds
+}
+
+// newTrainMetrics resolves the handles; with a nil registry every handle is
+// nil and each telemetry call collapses to a nil check.
+func newTrainMetrics(r *obs.Registry) trainMetrics {
+	return trainMetrics{
+		loss:     r.Gauge("fexiot_train_loss", "contrastive loss of the most recent training batch"),
+		gradNorm: r.Gauge("fexiot_train_grad_norm", "pre-clip global gradient norm of the most recent optimiser step"),
+		clips:    r.Counter("fexiot_train_grad_clip_total", "optimiser steps whose gradient norm was clipped"),
+		diverged: r.Counter("fexiot_train_divergence_total", "training rounds aborted and rolled back on loss divergence or non-finite values"),
+		rounds:   r.Counter("fexiot_train_rounds_total", "completed local contrastive training rounds"),
+		roundDur: r.Histogram("fexiot_train_round_duration_seconds", "wall time of one local contrastive training round", nil),
+	}
 }
 
 // DefaultTrainConfig mirrors the paper's training setup.
@@ -71,6 +99,9 @@ func TrainContrastive(m Model, graphs []*graph.Graph, cfg TrainConfig, opt *auto
 	if len(graphs) < 2 {
 		return true
 	}
+	tm := newTrainMetrics(cfg.Metrics)
+	sp := obs.StartSpan(tm.roundDur)
+	defer sp.End()
 	snapshot := m.Params().Clone()
 	firstLoss := math.NaN()
 	r := rng.New(cfg.Seed)
@@ -136,15 +167,22 @@ func TrainContrastive(m Model, graphs []*graph.Graph, cfg TrainConfig, opt *auto
 				}
 			}
 			if diverged {
+				tm.diverged.Inc()
 				m.Params().CopyFrom(snapshot)
 				return false
 			}
+			tm.loss.Set(batchLoss)
 			if clip := cfg.gradClip(); clip > 0 {
-				autodiff.ClipGrads(grads, clip)
+				norm := autodiff.ClipGrads(grads, clip)
+				tm.gradNorm.Set(norm)
+				if norm > clip {
+					tm.clips.Inc()
+				}
 			}
 			opt.Step(m.Params(), grads)
 		}
 	}
+	tm.rounds.Inc()
 	return true
 }
 

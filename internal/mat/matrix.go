@@ -232,6 +232,7 @@ func MulTo(dst, a, b *Dense) {
 		panic(fmt.Sprintf("mat: MulTo dst %dx%d want %dx%d", dst.rows, dst.cols, a.rows, b.cols))
 	}
 	checkNoAlias("MulTo", dst, a, b)
+	countFLOPs(2 * a.rows * a.cols * b.cols)
 	perRow := 2 * a.cols * b.cols
 	parallelRows(a.rows, minBlockRows(perRow, serialFLOPCutoff), func(lo, hi int) {
 		mulToBlock(dst, a, b, lo, hi)
@@ -269,8 +270,12 @@ func MulTTo(dst, a, b *Dense) {
 		panic(fmt.Sprintf("mat: MulTTo dst %dx%d want %dx%d", dst.rows, dst.cols, a.cols, b.cols))
 	}
 	checkNoAlias("MulTTo", dst, a, b)
+	countFLOPs(2 * a.rows * a.cols * b.cols)
 	flops := 2 * a.rows * a.cols * b.cols
 	if flops < serialFLOPCutoff || Parallelism() == 1 {
+		if km := kmetrics.Load(); km != nil {
+			km.serial.Inc()
+		}
 		mulTToSerial(dst, a, b)
 		return
 	}
@@ -333,6 +338,7 @@ func MulBTTo(dst, a, b *Dense) {
 		panic(fmt.Sprintf("mat: MulBTTo dst %dx%d want %dx%d", dst.rows, dst.cols, a.rows, b.rows))
 	}
 	checkNoAlias("MulBTTo", dst, a, b)
+	countFLOPs(2 * a.rows * a.cols * b.rows)
 	perRow := 2 * b.rows * a.cols
 	parallelRows(a.rows, minBlockRows(perRow, serialFLOPCutoff), func(lo, hi int) {
 		mulBTToBlock(dst, a, b, lo, hi)

@@ -1,0 +1,52 @@
+package mat
+
+import (
+	"sync/atomic"
+
+	"fexiot/internal/obs"
+)
+
+// kernelMetrics are the package-level observability handles of the dense
+// kernels. The whole struct sits behind one atomic pointer: the disabled
+// state is a nil pointer, so the per-operation cost of instrumentation when
+// no registry is installed is a single atomic load and branch — unmeasurable
+// next to even the smallest matrix product (see BenchmarkMatMulParallel).
+type kernelMetrics struct {
+	flops    *obs.Counter // fexiot_mat_flops_total
+	serial   *obs.Counter // fexiot_mat_dispatch_total{mode="serial"}
+	parallel *obs.Counter // fexiot_mat_dispatch_total{mode="parallel"}
+	inflight *obs.Gauge   // fexiot_mat_pool_inflight_blocks
+}
+
+var kmetrics atomic.Pointer[kernelMetrics]
+
+// InstrumentKernels installs observability for the dense kernels into r:
+// FLOPs executed by the matrix products, serial vs parallel dispatch
+// decisions, and worker-pool occupancy. A nil registry uninstalls the
+// instrumentation, restoring the zero-overhead fast path. The handles are
+// process-global because the worker pool is; installing a second registry
+// replaces the first.
+func InstrumentKernels(r *obs.Registry) {
+	if r == nil {
+		kmetrics.Store(nil)
+		return
+	}
+	dispatch := r.CounterVec("fexiot_mat_dispatch_total",
+		"dense-kernel dispatch decisions by execution mode", "mode")
+	kmetrics.Store(&kernelMetrics{
+		flops: r.Counter("fexiot_mat_flops_total",
+			"floating-point operations executed by the matrix product kernels"),
+		serial:   dispatch.With("serial"),
+		parallel: dispatch.With("parallel"),
+		inflight: r.Gauge("fexiot_mat_pool_inflight_blocks",
+			"row blocks currently executing on the worker pool"),
+	})
+}
+
+// countFLOPs tallies one product's floating-point operations when
+// instrumentation is installed.
+func countFLOPs(n int) {
+	if km := kmetrics.Load(); km != nil {
+		km.flops.Add(int64(n))
+	}
+}

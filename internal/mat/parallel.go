@@ -108,10 +108,18 @@ func parallelRows(n, minWork int, fn func(lo, hi int)) {
 		p = max
 	}
 	if p <= 1 {
+		if km := kmetrics.Load(); km != nil {
+			km.serial.Inc()
+		}
 		fn(0, n)
 		return
 	}
 	poolOnce.Do(startPool)
+	if km := kmetrics.Load(); km != nil {
+		km.parallel.Inc()
+		km.inflight.Add(float64(p))
+		defer km.inflight.Add(float64(-p))
+	}
 	var wg sync.WaitGroup
 	wg.Add(p - 1)
 	for b := 1; b < p; b++ {

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewHandler builds the observability mux: Prometheus text at /metrics, a
+// JSON snapshot at /statusz, and the full net/http/pprof suite under
+// /debug/pprof/. It works with a nil registry (endpoints serve empty
+// metric sets; pprof is always live).
+func NewHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteStatusz(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(`<html><body><h1>fexiot observability</h1><ul>` +
+			`<li><a href="/metrics">/metrics</a> — Prometheus text format</li>` +
+			`<li><a href="/statusz">/statusz</a> — JSON snapshot</li>` +
+			`<li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiler</li>` +
+			`</ul></body></html>`))
+	})
+	return mux
+}
+
+// HTTPServer is a running observability endpoint. Close releases the
+// listener; in-flight scrapes get a short grace period.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartHTTP binds addr (":0" picks a free port) and serves NewHandler(r)
+// in a background goroutine. The returned server reports the resolved
+// address via Addr, which is what operators scrape and the smoke test
+// greps from the process log.
+func StartHTTP(addr string, r *Registry) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &HTTPServer{ln: ln, srv: &http.Server{Handler: NewHandler(r)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr reports the resolved listen address (host:port).
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down, allowing in-flight requests one second.
+func (s *HTTPServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

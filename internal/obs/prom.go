@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE line per family,
+// one sample line per series, histograms expanded into cumulative
+// le-labeled buckets plus _sum and _count. Output is deterministic —
+// families sort by name, series by label values — so scrapes (and golden
+// tests) are stable regardless of registration or update order. Safe on a
+// nil registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.sortedFamilies() {
+		if err := f.writeProm(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries snapshots a family's series ordered by label values.
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	ss := append([]*series(nil), f.series...)
+	f.mu.Unlock()
+	sort.Slice(ss, func(i, j int) bool {
+		a, b := ss[i].labelValues, ss[j].labelValues
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return ss
+}
+
+func (f *family) writeProm(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+		return err
+	}
+	for _, s := range f.sortedSeries() {
+		if err := f.writeSeries(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeSeries(w io.Writer, s *series) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n",
+			f.name, labelString(f.labelNames, s.labelValues, "", ""), s.counter.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n",
+			f.name, labelString(f.labelNames, s.labelValues, "", ""), formatFloat(s.gauge.Value()))
+		return err
+	case kindHistogram:
+		cum := s.hist.snapshot()
+		for i, bound := range s.hist.bounds {
+			le := formatFloat(bound)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, labelString(f.labelNames, s.labelValues, "le", le), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, labelString(f.labelNames, s.labelValues, "le", "+Inf"), cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+			labelString(f.labelNames, s.labelValues, "", ""), formatFloat(s.hist.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+			labelString(f.labelNames, s.labelValues, "", ""), s.hist.Count())
+		return err
+	}
+	return nil
+}
+
+// labelString renders {a="x",b="y"} with values escaped, optionally
+// appending one extra label (the histogram le). Label order is declaration
+// order — stable by construction.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text format: backslash, double
+// quote and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes a help string: backslash and newline (quotes are legal
+// in HELP text).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest exact
+// decimal, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+)
+
+// StatusSnapshot is the JSON shape served at /statusz: process vitals plus
+// every registered metric, decoded-friendly for dashboards and smoke tests
+// that don't speak the Prometheus text format.
+type StatusSnapshot struct {
+	UptimeSeconds float64                   `json:"uptime_seconds"`
+	GoVersion     string                    `json:"go_version"`
+	NumGoroutine  int                       `json:"num_goroutine"`
+	NumCPU        int                       `json:"num_cpu"`
+	HeapAllocMB   float64                   `json:"heap_alloc_mb"`
+	Metrics       map[string][]SeriesStatus `json:"metrics"`
+}
+
+// SeriesStatus is one series of one metric in the JSON snapshot. Exactly
+// one of Value (counters/gauges) or the histogram trio is populated,
+// discriminated by Type.
+type SeriesStatus struct {
+	Type    string            `json:"type"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`
+	Count   int64             `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Buckets map[string]int64  `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the registry's current state. Safe on a nil registry
+// (returns vitals with an empty metric map).
+func (r *Registry) Snapshot() StatusSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	snap := StatusSnapshot{
+		GoVersion:    runtime.Version(),
+		NumGoroutine: runtime.NumGoroutine(),
+		NumCPU:       runtime.NumCPU(),
+		HeapAllocMB:  float64(ms.HeapAlloc) / (1 << 20),
+		Metrics:      map[string][]SeriesStatus{},
+	}
+	if r == nil {
+		return snap
+	}
+	snap.UptimeSeconds = time.Since(r.start).Seconds()
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.sortedSeries() {
+			st := SeriesStatus{Type: string(f.kind)}
+			if len(f.labelNames) > 0 {
+				st.Labels = map[string]string{}
+				for i, n := range f.labelNames {
+					st.Labels[n] = s.labelValues[i]
+				}
+			}
+			switch f.kind {
+			case kindCounter:
+				st.Value = float64(s.counter.Value())
+			case kindGauge:
+				st.Value = s.gauge.Value()
+			case kindHistogram:
+				st.Count = s.hist.Count()
+				st.Sum = s.hist.Sum()
+				st.Buckets = map[string]int64{}
+				cum := s.hist.snapshot()
+				for i, bound := range s.hist.bounds {
+					st.Buckets[formatFloat(bound)] = cum[i]
+				}
+				st.Buckets["+Inf"] = cum[len(cum)-1]
+			}
+			snap.Metrics[f.name] = append(snap.Metrics[f.name], st)
+		}
+	}
+	return snap
+}
+
+// WriteStatusz renders the snapshot as indented JSON.
+func (r *Registry) WriteStatusz(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
