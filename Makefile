@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 10s
 
 .PHONY: all build test race race-fedproto race-fed vet bench bench-matmul \
-	bench-agg poison-smoke obs-smoke fuzz check
+	bench-agg bench-codecs poison-smoke obs-smoke fuzz check
 
 all: build
 
@@ -43,6 +43,13 @@ bench-matmul:
 bench-agg:
 	$(GO) test -run XXX -bench 'Aggregators' .
 
+# Update-codec encode/decode throughput and wire-byte footprint (raw64 vs
+# f32/q8/topk), plus the ≥4x q8 compression pin as a hard test. Fast: a
+# bounded benchtime keeps this inside the `make check` budget.
+bench-codecs:
+	$(GO) test -count=1 -run 'TestQ8BeatsRaw64ByFourX' \
+		-bench Codecs -benchtime 100x ./internal/fedproto/codec/
+
 # The pinned poisoning acceptance scenario, never from cache: 8 clients,
 # 2 Byzantine, robust aggregators must hold F1 while FedAvg degrades.
 poison-smoke:
@@ -60,4 +67,4 @@ fuzz:
 	$(GO) test -fuzz FuzzDecodeUpdate -fuzztime $(FUZZTIME) ./internal/fedproto/
 	$(GO) test -fuzz FuzzDecodeHello -fuzztime $(FUZZTIME) ./internal/fedproto/
 
-check: build vet test race race-fedproto race-fed poison-smoke obs-smoke
+check: build vet test race race-fedproto race-fed poison-smoke bench-codecs obs-smoke

@@ -35,6 +35,7 @@ import (
 
 	"fexiot/internal/fed"
 	"fexiot/internal/fedproto"
+	"fexiot/internal/fedproto/codec"
 	"fexiot/internal/mat"
 	"fexiot/internal/obs"
 )
@@ -54,6 +55,9 @@ func main() {
 		"consecutive missed rounds before eviction (negative disables)")
 	aggName := flag.String("agg", "fedavg",
 		"aggregation rule: "+strings.Join(fed.AggregatorNames(), ", "))
+	codecName := flag.String("codec", codec.Raw64,
+		"preferred update encoding: "+strings.Join(codec.Names(), ", ")+
+			" (per session; clients that don't offer it fall back to raw64)")
 	checkpoint := flag.String("checkpoint", "",
 		"checkpoint file; resumes from it when present (empty disables)")
 	checkpointEvery := flag.Int("checkpoint-every", 1,
@@ -64,6 +68,10 @@ func main() {
 
 	agg, err := fed.NewAggregator(*aggName)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if _, err := codec.New(*codecName); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -95,12 +103,13 @@ func main() {
 		Quorum:          *quorum,
 		MaxStrikes:      *strikes,
 		Aggregator:      agg,
+		Codec:           *codecName,
 		CheckpointPath:  *checkpoint,
 		CheckpointEvery: *checkpointEvery,
 		Metrics:         reg,
 	})
-	fmt.Printf("fexserver listening on %s for %d clients, %d rounds (quorum %.2f, %d strikes, %s aggregation)\n",
-		*addr, *clients, *rounds, *quorum, *strikes, agg.Name())
+	fmt.Printf("fexserver listening on %s for %d clients, %d rounds (quorum %.2f, %d strikes, %s aggregation, %s updates)\n",
+		*addr, *clients, *rounds, *quorum, *strikes, agg.Name(), *codecName)
 	if *checkpoint != "" {
 		fmt.Printf("checkpointing every %d round(s) to %s\n", *checkpointEvery, *checkpoint)
 	}

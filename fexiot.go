@@ -28,6 +28,7 @@ import (
 	"fexiot/internal/eventlog"
 	"fexiot/internal/explain"
 	"fexiot/internal/fed"
+	"fexiot/internal/fedproto/codec"
 	"fexiot/internal/fusion"
 	"fexiot/internal/gnn"
 	"fexiot/internal/graph"
@@ -75,6 +76,11 @@ type Options struct {
 	// registry (serve it with obs.StartHTTP). Nil disables instrumentation
 	// at unmeasurable cost.
 	Metrics *obs.Registry
+	// Codec selects the simulated federated update encoding ("raw64",
+	// "f32", "q8", "topk"; empty = raw64): lossy schemes shrink upload
+	// bytes by compressing per-round deltas at a bounded accuracy cost,
+	// mirroring the networked protocol's -codec flag.
+	Codec string
 }
 
 // DefaultOptions returns the documented defaults: a compact GIN sized for
@@ -105,6 +111,9 @@ func (o Options) validate() error {
 	}
 	if o.Procs < 0 {
 		return fmt.Errorf("fexiot: Procs must be non-negative, got %d", o.Procs)
+	}
+	if _, err := codec.New(o.Codec); err != nil {
+		return fmt.Errorf("fexiot: %w", err)
 	}
 	return nil
 }
@@ -252,6 +261,7 @@ func (s *System) TrainFederated(clientData [][]*Graph, algo FederatedAlgorithm,
 	cfg.Rounds = rounds
 	cfg.Eps1, cfg.Eps2 = 0.4, 0.95
 	cfg.Metrics = s.opts.Metrics
+	cfg.Codec = s.opts.Codec
 	res := a.Run(clients, cfg)
 
 	var all []*Graph

@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"fexiot/internal/fedproto/codec"
 	"fexiot/internal/mat"
 	"fexiot/internal/obs"
 )
@@ -44,9 +45,17 @@ func (f *FexIoT) Run(clients []*Client, cfg Config) *Result {
 	sm := newSimMetrics(cfg.Metrics)
 	numLayers := clients[0].Model.Params().NumLayers()
 	var finalBottom [][]int
+	cdc := simCodec(cfg.Codec)
 	for r := 0; r < cfg.Rounds; r++ {
 		sp := obs.StartSpan(sm.roundDur)
 		localTrainAll(clients, cfg.roundTrain(r))
+		// Wire-codec simulation: what the server aggregates (and the norms,
+		// weights and gate below see) is each client's reconstructed update,
+		// not the exact local one — mirroring the networked protocol.
+		var codecBytes [][]int64 // [layer][client] encoded upload bytes
+		if cdc != nil {
+			codecBytes = applySimCodec(clients, cdc, numLayers)
+		}
 		// Per-layer flattened weights and update norms.
 		layerWeights := make([][][]float64, numLayers) // [layer][client]
 		layerNorms := make([][]float64, numLayers)
@@ -74,7 +83,9 @@ func (f *FexIoT) Run(clients []*Client, cfg Config) *Result {
 			}
 			layerElems := clients[cluster[0]].Model.Params().LayerElements(l)
 			// Upload accounting: members whose layer still moves (or that
-			// are being clustered) transmit it.
+			// are being clustered) transmit it — at the codec's encoded wire
+			// size when one is active. Downloads are always dense: the
+			// server's models ship raw64 in the networked protocol too.
 			uploads := 0
 			for _, i := range cluster {
 				peak := 0.0
@@ -83,9 +94,14 @@ func (f *FexIoT) Run(clients []*Client, cfg Config) *Result {
 				}
 				if f.StaleFrac == 0 || layerNorms[l][i] > f.StaleFrac*peak {
 					uploads++
+					if codecBytes != nil {
+						commUp += codecBytes[l][i]
+					}
 				}
 			}
-			commUp += int64(uploads) * bytesFor(layerElems)
+			if codecBytes == nil {
+				commUp += int64(uploads) * bytesFor(layerElems)
+			}
 			commDown += int64(uploads) * bytesFor(layerElems)
 
 			split := false
@@ -137,6 +153,57 @@ func (f *FexIoT) Run(clients []*Client, cfg Config) *Result {
 	res.Comm.Rounds = cfg.Rounds
 	res.FinalClusters = clusterAssignment(len(clients), finalBottom)
 	return res
+}
+
+// simCodec resolves a Config.Codec name to a lossy codec instance, or nil
+// when the dense raw64 path (including unknown names) applies.
+func simCodec(name string) codec.Codec {
+	cdc, err := codec.New(name)
+	if err != nil || cdc.Name() == codec.Raw64 {
+		return nil
+	}
+	return cdc
+}
+
+// applySimCodec pushes one round's updates through the wire codec: every
+// client's params become prev + Decode(Encode(params − prev)) in place, so
+// aggregation sees exactly what the networked server would reconstruct. It
+// returns the encoded upload wire size per [layer][client] for the
+// communication accounting.
+func applySimCodec(clients []*Client, cdc codec.Codec, numLayers int) [][]int64 {
+	bytes := make([][]int64, numLayers)
+	for l := range bytes {
+		bytes[l] = make([]int64, len(clients))
+	}
+	mat.ParallelFor(len(clients), func(i int) {
+		c := clients[i]
+		if c.prev == nil {
+			return
+		}
+		p := c.Model.Params()
+		for l := 0; l < numLayers; l++ {
+			for _, name := range p.LayerNames(l) {
+				cur := p.Get(name).Data()
+				prev := c.prev.Get(name).Data()
+				d := make([]float64, len(cur))
+				for j := range cur {
+					d[j] = cur[j] - prev[j]
+				}
+				t := cdc.Encode(d)
+				bytes[l][i] += t.WireBytes()
+				dec, err := cdc.Decode(t)
+				if err != nil {
+					// Self-encoded frames only fail on non-finite updates;
+					// leave those params as-is for the gate to handle.
+					continue
+				}
+				for j := range cur {
+					cur[j] = prev[j] + dec[j]
+				}
+			}
+		}
+	})
+	return bytes
 }
 
 // averageLayer replaces layer l of every cluster member with the cluster's

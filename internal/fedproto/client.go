@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fexiot/internal/autodiff"
+	"fexiot/internal/fedproto/codec"
 )
 
 // Client-session backoff defaults (ClientConfig zero values).
@@ -32,10 +33,24 @@ const (
 func RunClientLoop(ctx context.Context, conn *Conn, clientID, dataSize int,
 	params *autodiff.ParamSet,
 	localRound func(round int) map[int]float64) error {
+	return runClientLoop(ctx, conn, clientID, dataSize, params, nil, localRound)
+}
+
+// runClientLoop is RunClientLoop with an explicit codec offer: the schemes
+// advertised in the hello, in preference order (nil offers everything this
+// build supports). The server's sync reply assigns one; lossy schemes make
+// the loop keep a clone of each model the server sends (the delta base) and
+// echo its ModelSeq stamp with every update.
+func runClientLoop(ctx context.Context, conn *Conn, clientID, dataSize int,
+	params *autodiff.ParamSet, offered []string,
+	localRound func(round int) map[int]float64) error {
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
+	if offered == nil {
+		offered = codec.Names()
+	}
 	if err := conn.Send(&Message{Kind: MsgHello, ClientID: clientID,
-		DataSize: dataSize}); err != nil {
+		DataSize: dataSize, Codecs: offered}); err != nil {
 		return loopErr(ctx, err)
 	}
 	syncMsg, err := conn.Recv()
@@ -45,10 +60,25 @@ func RunClientLoop(ctx context.Context, conn *Conn, clientID, dataSize int,
 	if syncMsg.Kind != MsgModel {
 		return fmt.Errorf("fedproto: unexpected sync kind %d", syncMsg.Kind)
 	}
+	cdc, err := codec.New(syncMsg.Codec)
+	if err != nil {
+		// A server assigning a scheme this build does not know is answered
+		// with plain raw64 updates — always a legal encoding.
+		cdc, _ = codec.New(codec.Raw64)
+	}
+	lossy := cdc.Name() != codec.Raw64
+	// base/baseSeq name the last server model snapshot, the reference lossy
+	// deltas are encoded against. No snapshot yet → dense raw64 fallback.
+	var base *autodiff.ParamSet
+	var baseSeq uint64
 	if len(syncMsg.Layers) > 0 {
 		if err := ApplyLayers(params, syncMsg.Layers); err != nil {
 			return err
 		}
+	}
+	if lossy && syncMsg.ModelSeq != 0 {
+		base = params.Clone()
+		baseSeq = syncMsg.ModelSeq
 	}
 	if syncMsg.Final {
 		return nil
@@ -62,8 +92,12 @@ func RunClientLoop(ctx context.Context, conn *Conn, clientID, dataSize int,
 			return context.Cause(ctx)
 		}
 		norms := localRound(round)
+		lay, scheme, isDelta := encodeUpdate(params, base, layers, norms, cdc)
 		up := &Message{Kind: MsgUpdate, ClientID: clientID, Round: round,
-			Layers: EncodeLayers(params, layers, norms)}
+			Layers: lay, Codec: scheme, Delta: isDelta}
+		if isDelta {
+			up.BaseSeq = baseSeq
+		}
 		if err := conn.Send(up); err != nil {
 			return loopErr(ctx, err)
 		}
@@ -80,11 +114,38 @@ func RunClientLoop(ctx context.Context, conn *Conn, clientID, dataSize int,
 		if err := ApplyLayers(params, reply.Layers); err != nil {
 			return err
 		}
+		if lossy {
+			if reply.ModelSeq != 0 {
+				base = params.Clone()
+				baseSeq = reply.ModelSeq
+			} else {
+				base, baseSeq = nil, 0
+			}
+		}
 		if reply.Final {
 			return nil
 		}
 		round = reply.Round + 1
 	}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a full-avalanche bijection on
+// 64-bit state, so every output bit depends on every input bit.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mixSeed derives the per-session backoff rng seed from the configured
+// seed and client id. The previous affine formula
+// (Seed*2654435761 + ID + 1) overflowed silently and could collide across
+// (seed, id) pairs — e.g. any two ids equidistant under seeds differing by
+// one step; two full splitmix64 rounds avalanche both inputs so nearby
+// clients of a restarted fleet never share a jitter stream.
+func mixSeed(seed int64, id int) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) ^ (uint64(int64(id)) + 0x9e3779b97f4a7c15)))
 }
 
 // loopErr prefers the cancellation cause over the socket error the
@@ -116,6 +177,10 @@ type ClientConfig struct {
 	OpTimeout time.Duration
 	// Seed drives the backoff jitter deterministically per client.
 	Seed int64
+	// Codec restricts the update schemes advertised in the hello to this
+	// one ("raw64", "f32", "q8", "topk"); empty advertises everything this
+	// build supports and lets the server pick.
+	Codec string
 	// Dial overrides net.Dial("tcp", addr); tests inject fault-wrapped
 	// connections here.
 	Dial func(addr string) (net.Conn, error)
@@ -168,7 +233,14 @@ func RunClientSession(ctx context.Context, cfg ClientConfig, params *autodiff.Pa
 			}
 		}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed*2654435761 + int64(cfg.ID) + 1))
+	var offered []string
+	if cfg.Codec != "" {
+		if _, err := codec.New(cfg.Codec); err != nil {
+			return SessionStats{}, err
+		}
+		offered = []string{cfg.Codec}
+	}
+	rng := rand.New(rand.NewSource(mixSeed(cfg.Seed, cfg.ID)))
 
 	var stats SessionStats
 	backoff := cfg.InitialBackoff
@@ -186,7 +258,7 @@ func RunClientSession(ctx context.Context, cfg ClientConfig, params *autodiff.Pa
 			if cfg.OpTimeout > 0 {
 				conn.SetOpDeadline(cfg.OpTimeout)
 			}
-			err = RunClientLoop(ctx, conn, cfg.ID, cfg.DataSize, params, localRound)
+			err = runClientLoop(ctx, conn, cfg.ID, cfg.DataSize, params, offered, localRound)
 			in, out := conn.Bytes()
 			stats.InBytes += in
 			stats.OutBytes += out

@@ -1,0 +1,162 @@
+package fedproto
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipeConns builds a connected pair of protocol conns over loopback TCP
+// (net.Pipe has no deadline support, so deadline semantics need a real
+// socket).
+func pipeConns(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	cli, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-ch
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	ca, cb := Wrap(cli), Wrap(a.c)
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	return ca, cb
+}
+
+// TestOpDeadlineClearedAfterDisable is the stale-deadline regression test:
+// Recv under an armed op deadline used to leave the socket deadline in
+// place, so after SetOpDeadline(0) a later blocking Recv died with a
+// spurious i/o timeout the moment the old deadline expired — exactly the
+// fate of a client idling for the next round's MsgModel. With the fix, the
+// deadline-free Recv clears the stale deadline and blocks until the
+// message arrives well past it.
+func TestOpDeadlineClearedAfterDisable(t *testing.T) {
+	cli, srv := pipeConns(t)
+
+	const short = 80 * time.Millisecond
+	cli.SetOpDeadline(short)
+	if err := srv.Send(&Message{Kind: MsgModel, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Recv(); err != nil {
+		t.Fatalf("deadline-armed recv: %v", err)
+	}
+
+	// Disable per-op deadlines, then block well past the old deadline.
+	cli.SetOpDeadline(0)
+	go func() {
+		time.Sleep(3 * short)
+		srv.Send(&Message{Kind: MsgModel, Round: 2})
+	}()
+	m, err := cli.Recv()
+	if err != nil {
+		t.Fatalf("blocking recv after SetOpDeadline(0): %v (stale deadline not cleared)", err)
+	}
+	if m.Round != 2 {
+		t.Fatalf("got round %d want 2", m.Round)
+	}
+}
+
+// TestOpDeadlineClearedAfterDisableSend is the write-side twin: a Send
+// after SetOpDeadline(0) must not inherit the previous Send's deadline.
+func TestOpDeadlineClearedAfterDisableSend(t *testing.T) {
+	cli, srv := pipeConns(t)
+
+	const short = 80 * time.Millisecond
+	cli.SetOpDeadline(short)
+	if err := cli.Send(&Message{Kind: MsgHello}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Recv(); err != nil {
+		t.Fatal(err)
+	}
+
+	cli.SetOpDeadline(0)
+	time.Sleep(2 * short) // let the stale write deadline expire
+	if err := cli.Send(&Message{Kind: MsgUpdate}); err != nil {
+		t.Fatalf("send after SetOpDeadline(0): %v (stale deadline not cleared)", err)
+	}
+	if m, err := srv.Recv(); err != nil || m.Kind != MsgUpdate {
+		t.Fatalf("recv: %v %v", m, err)
+	}
+}
+
+// TestExternalDeadlineSurvivesOpFreeRecv guards the server's round-timeout
+// pattern: a deadline armed directly via SetReadDeadline is the caller's,
+// and a Recv with no op deadline must honour it rather than clear it.
+func TestExternalDeadlineSurvivesOpFreeRecv(t *testing.T) {
+	cli, srv := pipeConns(t)
+
+	// Genuinely arm the internal read deadline (a successful Recv under an
+	// op deadline), then hand ownership to an external deadline: the next
+	// op-free Recv must not treat it as its own stale deadline and clear it.
+	cli.SetOpDeadline(50 * time.Millisecond)
+	if err := srv.Send(&Message{Kind: MsgModel}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	cli.SetOpDeadline(0)
+	cli.SetReadDeadline(time.Now().Add(60 * time.Millisecond))
+	start := time.Now()
+	_, err := cli.Recv()
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("recv = %v, want timeout from the externally armed deadline", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("external deadline was cleared by an op-deadline-free Recv")
+	}
+}
+
+// TestBytesConcurrentWithBlockedRecv pins the lock-free tallies: Bytes and
+// InBytes must return while another goroutine is parked inside Recv (the
+// old implementation took the same mutex for both, so a blocked decode
+// could starve readers).
+func TestBytesConcurrentWithBlockedRecv(t *testing.T) {
+	cli, srv := pipeConns(t)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cli.Recv() // parked until the reply lands
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			cli.Bytes()
+			cli.InBytes()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Bytes() blocked behind a parked Recv")
+	}
+	srv.Send(&Message{Kind: MsgDone})
+	wg.Wait()
+	if in := cli.InBytes(); in <= 0 {
+		t.Fatalf("InBytes = %d after a received message", in)
+	}
+}

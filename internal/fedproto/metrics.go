@@ -10,19 +10,22 @@ import (
 // nil registry every handle is nil and each instrumentation call in the
 // round loop collapses to a nil check.
 type serverMetrics struct {
-	roundDur   *obs.Histogram // fexiot_round_duration_seconds
-	responders *obs.Gauge     // fexiot_round_responders
-	rounds     *obs.Counter   // fexiot_rounds_completed_total
-	evicted    *obs.Counter   // fexiot_clients_evicted_total
-	rejoined   *obs.Counter   // fexiot_clients_rejoined_total
-	strikes    *obs.Counter   // fexiot_client_strikes_total
-	live       *obs.Gauge     // fexiot_clients_live
-	bytesIn    *obs.Counter   // fexiot_bytes_received_total
-	bytesOut   *obs.Counter   // fexiot_bytes_sent_total
-	rejected   *obs.Counter   // fexiot_updates_rejected_total
-	quorumLost *obs.Counter   // fexiot_quorum_lost_total
-	ckptDur    *obs.Histogram // fexiot_checkpoint_duration_seconds
-	aggDur     *obs.Histogram // fexiot_aggregate_duration_seconds{rule=...}
+	roundDur   *obs.Histogram  // fexiot_round_duration_seconds
+	responders *obs.Gauge      // fexiot_round_responders
+	rounds     *obs.Counter    // fexiot_rounds_completed_total
+	evicted    *obs.Counter    // fexiot_clients_evicted_total
+	rejoined   *obs.Counter    // fexiot_clients_rejoined_total
+	strikes    *obs.Counter    // fexiot_client_strikes_total
+	live       *obs.Gauge      // fexiot_clients_live
+	bytesIn    *obs.Counter    // fexiot_bytes_received_total
+	bytesOut   *obs.Counter    // fexiot_bytes_sent_total
+	rejected   *obs.Counter    // fexiot_updates_rejected_total
+	quorumLost *obs.Counter    // fexiot_quorum_lost_total
+	ckptDur    *obs.Histogram  // fexiot_checkpoint_duration_seconds
+	aggDur     *obs.Histogram  // fexiot_aggregate_duration_seconds{rule=...}
+	updEnc     *obs.CounterVec // fexiot_update_encoded_bytes_total{codec=...}
+	updRaw     *obs.Counter    // fexiot_update_raw_bytes_total
+	ratio      *obs.Histogram  // fexiot_update_compression_ratio
 }
 
 // newServerMetrics resolves the handle set against r for the configured
@@ -59,5 +62,12 @@ func newServerMetrics(r *obs.Registry, agg fed.Aggregator) serverMetrics {
 			"wall time of one durable checkpoint write (encode, fsync, rename)", nil),
 		aggDur: r.HistogramVec("fexiot_aggregate_duration_seconds",
 			"wall time of one round's layer-wise clustering aggregation", nil, "rule").With(rule),
+		updEnc: r.CounterVec("fexiot_update_encoded_bytes_total",
+			"wire bytes of accepted client updates, by codec scheme", "codec"),
+		updRaw: r.Counter("fexiot_update_raw_bytes_total",
+			"dense raw64-equivalent bytes of accepted client updates"),
+		ratio: r.Histogram("fexiot_update_compression_ratio",
+			"per-update raw64-equivalent bytes over wire bytes",
+			[]float64{1, 1.5, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}),
 	}
 }

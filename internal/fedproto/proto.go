@@ -12,9 +12,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fexiot/internal/autodiff"
+	"fexiot/internal/fedproto/codec"
 	"fexiot/internal/mat"
 	"fexiot/internal/obs"
 )
@@ -30,7 +32,11 @@ const (
 	MsgDone                  // server → client: training finished
 )
 
-// LayerPayload carries one layer's parameters on the wire.
+// LayerPayload carries one layer's parameters on the wire. Exactly one of
+// Data and Enc is populated: Data holds dense float64 tensors (the raw64
+// legacy format, and every server→client model), Enc holds codec-encoded
+// tensors on a compact MsgUpdate (decodeUpdate reconstructs Data from them
+// before anything downstream looks at the payload).
 type LayerPayload struct {
 	Layer  int
 	Names  []string
@@ -39,9 +45,14 @@ type LayerPayload struct {
 	// UpdateNorm is ‖ΔW_l‖ of the client's last local round, used by the
 	// server's clustering gate without shipping the previous weights.
 	UpdateNorm float64
+	// Enc carries the codec-encoded tensors of a non-raw64 update, one per
+	// name, in Names order.
+	Enc []codec.Tensor
 }
 
-// Message is the single wire envelope.
+// Message is the single wire envelope. The codec fields gob-encode to
+// nothing at their zero values, so raw64 traffic stays byte-compatible
+// with pre-codec peers in both directions.
 type Message struct {
 	Kind     MsgKind
 	ClientID int
@@ -49,6 +60,21 @@ type Message struct {
 	Round    int
 	Final    bool           // set on the last MsgModel of a session
 	Layers   []LayerPayload // MsgUpdate / MsgModel
+	// Codecs (MsgHello) advertises the update schemes the client can
+	// encode, in preference order; absent for pre-codec clients.
+	Codecs []string
+	// Codec names the scheme: on the sync MsgModel it is the server's
+	// assignment for the session's updates, on a MsgUpdate it declares how
+	// the payloads are encoded (empty = raw64).
+	Codec string
+	// Delta marks MsgUpdate payloads as element-wise deltas against the
+	// model snapshot BaseSeq names.
+	Delta bool
+	// ModelSeq (MsgModel) identifies this model snapshot session-uniquely;
+	// BaseSeq (MsgUpdate) echoes the stamp of the model a delta update was
+	// encoded against.
+	ModelSeq uint64
+	BaseSeq  uint64
 }
 
 // EncodeLayers extracts the given layers of a ParamSet into payloads.
@@ -86,31 +112,25 @@ func ApplyLayers(p *autodiff.ParamSet, layers []LayerPayload) error {
 
 // countingConn wraps a connection and tallies transferred bytes, mirroring
 // each tally into the (possibly nil) observability counters installed by
-// Conn.Instrument.
+// Conn.Instrument. The tallies are atomics: Read and Write are the
+// per-syscall hot path, and InBytes/OutBytes readers (metrics scrapes,
+// per-update wire-byte deltas) must never contend with a blocked decode.
 type countingConn struct {
 	net.Conn
-	read, written *int64
-	mu            *sync.Mutex
-	pc            *Conn
+	pc *Conn
 }
 
 func (c countingConn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
-	c.mu.Lock()
-	*c.read += int64(n)
-	in := c.pc.obsIn
-	c.mu.Unlock()
-	in.Add(int64(n)) // nil-safe
+	c.pc.inBytes.Add(int64(n))
+	c.pc.obsIn.Load().Add(int64(n)) // nil-safe
 	return n, err
 }
 
 func (c countingConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
-	c.mu.Lock()
-	*c.written += int64(n)
-	out := c.pc.obsOut
-	c.mu.Unlock()
-	out.Add(int64(n)) // nil-safe
+	c.pc.outBytes.Add(int64(n))
+	c.pc.obsOut.Load().Add(int64(n)) // nil-safe
 	return n, err
 }
 
@@ -122,16 +142,22 @@ type Conn struct {
 
 	sendMu sync.Mutex // serialises Send: gob encoders are not goroutine-safe
 
-	mu                sync.Mutex
-	inBytes, outBytes int64
-	opDeadline        time.Duration
-	obsIn, obsOut     *obs.Counter
+	inBytes, outBytes atomic.Int64
+	obsIn, obsOut     atomic.Pointer[obs.Counter]
+
+	mu         sync.Mutex
+	opDeadline time.Duration
+	// readArmed/writeArmed record that the deadline currently on the socket
+	// was armed by Recv/Send itself (not by an explicit SetReadDeadline /
+	// SetWriteDeadline caller), so the next op-deadline-free call knows to
+	// clear it instead of letting it poison a blocking read or write.
+	readArmed, writeArmed bool
 }
 
 // Wrap builds a protocol connection over a raw socket.
 func Wrap(c net.Conn) *Conn {
 	pc := &Conn{raw: c}
-	counted := countingConn{Conn: c, read: &pc.inBytes, written: &pc.outBytes, mu: &pc.mu, pc: pc}
+	counted := countingConn{Conn: c, pc: pc}
 	pc.enc = gob.NewEncoder(counted)
 	pc.dec = gob.NewDecoder(counted)
 	return pc
@@ -142,26 +168,54 @@ func Wrap(c net.Conn) *Conn {
 // bytes_sent counters here at admission so per-connection accounting and
 // the scrapeable totals stay in lockstep.
 func (c *Conn) Instrument(in, out *obs.Counter) {
+	c.obsIn.Store(in)
+	c.obsOut.Store(out)
+}
+
+// armWrite arms the socket write deadline for one Send when a per-op
+// deadline is configured — and, crucially, clears a deadline a previous
+// Send armed when it no longer is: after SetOpDeadline(0) a stale deadline
+// must not fail a later blocking Send with a spurious timeout. Deadlines
+// armed directly via SetWriteDeadline are the caller's to manage and are
+// left alone.
+func (c *Conn) armWrite() {
 	c.mu.Lock()
-	c.obsIn, c.obsOut = in, out
+	d := c.opDeadline
+	wasArmed := c.writeArmed
+	c.writeArmed = d > 0
 	c.mu.Unlock()
+	if d > 0 {
+		c.raw.SetWriteDeadline(time.Now().Add(d))
+	} else if wasArmed {
+		c.raw.SetWriteDeadline(time.Time{})
+	}
+}
+
+// armRead is armWrite for the read side.
+func (c *Conn) armRead() {
+	c.mu.Lock()
+	d := c.opDeadline
+	wasArmed := c.readArmed
+	c.readArmed = d > 0
+	c.mu.Unlock()
+	if d > 0 {
+		c.raw.SetReadDeadline(time.Now().Add(d))
+	} else if wasArmed {
+		c.raw.SetReadDeadline(time.Time{})
+	}
 }
 
 // Send writes one message.
 func (c *Conn) Send(m *Message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	if d := c.OpDeadline(); d > 0 {
-		c.raw.SetWriteDeadline(time.Now().Add(d))
-	}
+	c.armWrite()
 	return c.enc.Encode(m)
 }
 
 // Recv reads one message.
 func (c *Conn) Recv() (*Message, error) {
-	if d := c.OpDeadline(); d > 0 {
-		c.raw.SetReadDeadline(time.Now().Add(d))
-	}
+	c.armRead()
 	var m Message
 	if err := c.dec.Decode(&m); err != nil {
 		if err == io.EOF {
@@ -192,18 +246,33 @@ func (c *Conn) OpDeadline() time.Duration {
 func (c *Conn) Close() error { return c.raw.Close() }
 
 // SetReadDeadline bounds the next Recv; a zero time clears the deadline.
-// A Recv past the deadline fails with a net timeout error.
-func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
+// A Recv past the deadline fails with a net timeout error. The caller owns
+// a deadline set this way: Recv will not clear it even with a zero op
+// deadline (the server's round-timeout pattern depends on that).
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readArmed = false
+	c.mu.Unlock()
+	return c.raw.SetReadDeadline(t)
+}
 
 // SetWriteDeadline bounds the next Send; a zero time clears the deadline.
-func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
+// As with SetReadDeadline, the caller owns it.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeArmed = false
+	c.mu.Unlock()
+	return c.raw.SetWriteDeadline(t)
+}
 
 // Bytes reports (received, sent) byte counts.
 func (c *Conn) Bytes() (in, out int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.inBytes, c.outBytes
+	return c.inBytes.Load(), c.outBytes.Load()
 }
+
+// InBytes reports bytes received so far. The server reads it around each
+// Recv to measure one update's real wire size.
+func (c *Conn) InBytes() int64 { return c.inBytes.Load() }
 
 // ValidateUpdate checks that a remote MsgUpdate is well-formed before any
 // payload is indexed: the right kind, exactly one payload per model layer

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"fexiot/internal/fed"
+	"fexiot/internal/fedproto/codec"
 	"fexiot/internal/mat"
 	"fexiot/internal/obs"
 )
@@ -69,6 +70,11 @@ type ServerConfig struct {
 	// the robust alternatives from internal/fed (trimmed mean, median,
 	// norm-clipped mean, Krum) bound a Byzantine client's influence.
 	Aggregator fed.Aggregator
+	// Codec is the update scheme the server prefers clients to use
+	// ("raw64", "f32", "q8", "topk"); each session gets it iff the client's
+	// hello advertises it, raw64 otherwise. Empty selects raw64 — the dense
+	// legacy wire format, byte-identical to pre-codec servers.
+	Codec string
 	// CheckpointPath, when set, makes the server durable: every
 	// CheckpointEvery closed rounds it gob-snapshots the round number,
 	// pinned shapes, global model, per-client strike state and stats to
@@ -163,6 +169,12 @@ func (s *Server) sendDeadline(c *Conn) {
 	}
 }
 
+// maxBases bounds the per-client cache of model snapshots kept as delta
+// bases. A well-behaved client encodes against the last model it received,
+// so one live base would almost always suffice; a few more absorb replies
+// and updates crossing on the wire without unbounded memory.
+const maxBases = 4
+
 // clientState is the server's view of one (possibly reconnecting)
 // federation member, keyed by the ClientID it announced in MsgHello.
 type clientState struct {
@@ -171,6 +183,31 @@ type clientState struct {
 	size    int // |G_c| for FedAvg weighting
 	strikes int // consecutive missed rounds
 	alive   bool
+	// codec is the update scheme negotiated at this session's admission.
+	codec string
+	// bases remembers the last maxBases model snapshots sent to this
+	// client, keyed by their ModelSeq stamp, so a delta update decodes
+	// against the exact base it was encoded against. baseOrder tracks
+	// insertion order for pruning. Guarded by Server.mu.
+	bases     map[uint64][]LayerPayload
+	baseOrder []uint64
+}
+
+// rememberBase records one sent model snapshot as a future delta base,
+// pruning the oldest past maxBases. Caller holds Server.mu.
+func (st *clientState) rememberBase(seq uint64, layers []LayerPayload) {
+	if len(layers) == 0 {
+		return
+	}
+	if st.bases == nil {
+		st.bases = map[uint64][]LayerPayload{}
+	}
+	st.bases[seq] = layers
+	st.baseOrder = append(st.baseOrder, seq)
+	for len(st.baseOrder) > maxBases {
+		delete(st.bases, st.baseOrder[0])
+		st.baseOrder = st.baseOrder[1:]
+	}
 }
 
 // ServerStats summarises a federation run for logs and tests.
@@ -204,6 +241,9 @@ type Server struct {
 	acceptErr error
 	closed    bool
 	stats     ServerStats
+	// seq stamps every model snapshot sent to a client (session-unique,
+	// monotonic, 0 = "no stamp") so delta updates can name their base.
+	seq uint64
 	// startRound is where Run's round loop begins — nonzero after a
 	// checkpoint restore.
 	startRound int
@@ -239,6 +279,9 @@ func (s *Server) Stats() ServerStats {
 // exactly where cancellation caught this one, and returns an error
 // wrapping context.Cause(ctx).
 func (s *Server) Run(ctx context.Context) (int64, error) {
+	if _, err := codec.New(s.cfg.Codec); err != nil {
+		return 0, err
+	}
 	if err := s.restoreCheckpoint(); err != nil {
 		return 0, err
 	}
@@ -378,13 +421,24 @@ func (s *Server) admit(raw net.Conn) {
 		st.strikes = n
 		delete(s.restoredStrikes, hello.ClientID)
 	}
+	st.codec = negotiateCodec(s.cfg.Codec, hello.Codecs)
+	// A fresh session starts from the sync model; bases the previous
+	// session encoded against are dead weight.
+	st.bases, st.baseOrder = nil, nil
 	// Sync reply: the round to resume at plus the current aggregated
 	// model (nil before the first round closes — fresh joiners start from
 	// their own initialisation like the in-process simulator). A server
 	// resumed past its final round tells the client the federation is
-	// already over.
+	// already over. The reply also assigns the session's update codec and,
+	// when a model ships, stamps it as a delta base.
 	syncMsg := &Message{Kind: MsgModel, Round: s.round, Layers: s.global,
+		Codec: st.codec,
 		Final: s.cfg.Rounds > 0 && s.round >= s.cfg.Rounds}
+	if len(s.global) > 0 {
+		s.seq++
+		syncMsg.ModelSeq = s.seq
+		st.rememberBase(s.seq, s.global)
+	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
@@ -470,8 +524,23 @@ func (s *Server) runRound(round int) error {
 		go func(r *recvResult) {
 			defer wg.Done()
 			s.recvDeadline(r.conn)
+			before := r.conn.InBytes()
 			m, err := r.conn.Recv()
 			if err != nil {
+				r.err = err
+				return
+			}
+			wire := r.conn.InBytes() - before
+			// Reconstruct dense absolute weights from whatever codec the
+			// update declares before any further validation — downstream
+			// checks and the aggregator only ever see raw64-shaped data.
+			var base []LayerPayload
+			if m.Delta {
+				s.mu.Lock()
+				base = r.st.bases[m.BaseSeq]
+				s.mu.Unlock()
+			}
+			if err := decodeUpdate(m, base); err != nil {
 				r.err = err
 				return
 			}
@@ -488,6 +557,16 @@ func (s *Server) runRound(round int) error {
 				return
 			}
 			r.layers = m.Layers
+			scheme := m.Codec
+			if scheme == "" {
+				scheme = codec.Raw64
+			}
+			raw := denseBytes(m.Layers)
+			s.metrics.updEnc.With(scheme).Add(wire)
+			s.metrics.updRaw.Add(raw)
+			if wire > 0 {
+				s.metrics.ratio.Observe(float64(raw) / float64(wire))
+			}
 		}(&live[i])
 	}
 	wg.Wait()
@@ -569,12 +648,22 @@ func (s *Server) runRound(round int) error {
 	final := round == s.cfg.Rounds-1
 	for k, st := range responders {
 		msg := &Message{Kind: MsgModel, Round: round, Final: final, Layers: replies[k]}
-		s.sendDeadline(st.conn)
-		if err := st.conn.Send(msg); err != nil {
+		// Stamp and remember the snapshot before sending: the client cannot
+		// echo a stamp it has not received, so remembering first means a
+		// delta naming this base always resolves. The conn is captured under
+		// mu so a concurrent rejoin cannot swap it mid-send.
+		s.mu.Lock()
+		s.seq++
+		msg.ModelSeq = s.seq
+		st.rememberBase(s.seq, replies[k])
+		conn := st.conn
+		s.mu.Unlock()
+		s.sendDeadline(conn)
+		if err := conn.Send(msg); err != nil {
 			// A failed reply is that client's problem, not the round's: it
 			// will miss the next collection and rejoin through admit.
 			s.mu.Lock()
-			s.dropIfCurrent(st, st.conn)
+			s.dropIfCurrent(st, conn)
 			s.mu.Unlock()
 		}
 	}

@@ -25,8 +25,11 @@ go build -o "$WORKDIR/fexclient" ./cmd/fexclient
 # address.
 FED_ADDR=127.0.0.1:$(python3 -c 'import socket; s=socket.socket(); s.bind(("127.0.0.1",0)); print(s.getsockname()[1]); s.close()')
 
+# -codec q8 makes the federation negotiate quantised deltas, so the scrape
+# below can assert the compression metrics on a live run, not just their
+# TYPE lines.
 "$WORKDIR/fexserver" -addr "$FED_ADDR" -clients 2 -rounds 3 -layers 4 \
-    -http 127.0.0.1:0 >"$SERVER_LOG" 2>&1 &
+    -codec q8 -http 127.0.0.1:0 >"$SERVER_LOG" 2>&1 &
 SERVER_PID=$!
 
 # Poll the log until the resolved obs address appears.
@@ -60,6 +63,7 @@ C1_PID=$!
 # capture and stop as soon as the round counter has visibly advanced (with
 # -rounds 3, counter 1 means whole rounds still remain to scrape in).
 SCRAPED=""
+Q8SEEN=""
 for _ in $(seq 1 2400); do
     if curl -sf "http://$OBS_ADDR/metrics" >"$WORKDIR/metrics.tmp" 2>/dev/null \
         && [ -s "$WORKDIR/metrics.tmp" ]; then
@@ -67,7 +71,12 @@ for _ in $(seq 1 2400); do
         curl -sf "http://$OBS_ADDR/statusz" >"$WORKDIR/statusz.json" 2>/dev/null || true
         if grep -q '^fexiot_rounds_completed_total [1-9]' "$WORKDIR/metrics.txt"; then
             SCRAPED=yes
-            break
+            # Round 0 goes dense (no shared base yet); keep scraping until a
+            # round-1+ quantised update shows up under codec="q8".
+            if grep -q 'fexiot_update_encoded_bytes_total{codec="q8"} [1-9]' "$WORKDIR/metrics.txt"; then
+                Q8SEEN=yes
+                break
+            fi
         fi
     elif ! kill -0 "$SERVER_PID" 2>/dev/null; then
         break
@@ -87,11 +96,21 @@ SERVER_PID=""
     grep fexiot_rounds "$WORKDIR/metrics.txt" || true; exit 1; }
 
 for metric in fexiot_round_duration_seconds fexiot_round_responders \
-    fexiot_clients_evicted_total fexiot_bytes_received_total; do
+    fexiot_clients_evicted_total fexiot_bytes_received_total \
+    fexiot_update_encoded_bytes_total fexiot_update_raw_bytes_total \
+    fexiot_update_compression_ratio; do
     grep -q "^# TYPE $metric " "$WORKDIR/metrics.txt" \
         || { echo "obs-smoke: $metric missing from /metrics"; cat "$WORKDIR/metrics.txt"; exit 1; }
 done
+
+# The q8 federation must have produced observable compression: a quantised
+# update accepted under codec="q8" and a populated ratio histogram.
+[ -n "$Q8SEEN" ] || { echo "obs-smoke: no q8-encoded update ever appeared on /metrics"; \
+    grep fexiot_update "$WORKDIR/metrics.txt" || true; exit 1; }
+grep -q '^fexiot_update_compression_ratio_count [1-9]' "$WORKDIR/metrics.txt" \
+    || { echo "obs-smoke: compression-ratio histogram empty"; \
+         grep fexiot_update_compression "$WORKDIR/metrics.txt" || true; exit 1; }
 grep -q '"go_version"' "$WORKDIR/statusz.json" \
     || { echo "obs-smoke: /statusz is not a status snapshot"; cat "$WORKDIR/statusz.json"; exit 1; }
 
-echo "obs-smoke: OK (live /metrics showed rounds advancing, /statusz live)"
+echo "obs-smoke: OK (rounds advancing, q8 compression metrics live, /statusz live)"
