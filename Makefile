@@ -4,8 +4,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race race-fedproto race-fed vet bench bench-matmul \
-	bench-agg bench-codecs poison-smoke obs-smoke fuzz check
+.PHONY: all build test race race-fedproto race-fed race-serve vet bench \
+	bench-matmul bench-agg bench-codecs poison-smoke obs-smoke \
+	serve-smoke fuzz check
 
 all: build
 
@@ -27,6 +28,13 @@ race-fedproto:
 # The robust-aggregation and Byzantine-attack paths under the race detector.
 race-fed:
 	$(GO) test -race -count=1 ./internal/fed/...
+
+# The snapshot-isolated serving engine (swap-mid-storm, batching, HTTP)
+# plus the facade's detect-while-training race regression, never from
+# cache.
+race-serve:
+	$(GO) test -race -count=1 ./internal/serve/...
+	$(GO) test -race -count=1 -run 'TestConcurrentDetectWhileTraining|TestServeEndToEnd' .
 
 vet:
 	$(GO) vet ./...
@@ -61,10 +69,17 @@ poison-smoke:
 obs-smoke:
 	sh scripts/obs-smoke.sh
 
+# End-to-end serving smoke: fexserve with a background republish cadence,
+# a concurrent curl storm on /v1/detect across live snapshot swaps, zero
+# non-2xx tolerated and the serve metrics must be live.
+serve-smoke:
+	sh scripts/serve-smoke.sh
+
 # Wire-protocol fuzzers (gob decode must error, never panic). FUZZTIME
 # bounds each target; raise it for long local runs.
 fuzz:
 	$(GO) test -fuzz FuzzDecodeUpdate -fuzztime $(FUZZTIME) ./internal/fedproto/
 	$(GO) test -fuzz FuzzDecodeHello -fuzztime $(FUZZTIME) ./internal/fedproto/
 
-check: build vet test race race-fedproto race-fed poison-smoke bench-codecs obs-smoke
+check: build vet test race race-fedproto race-fed race-serve poison-smoke \
+	bench-codecs obs-smoke serve-smoke

@@ -1,0 +1,138 @@
+// Command fexserve runs the snapshot-isolated inference server: it trains
+// a compact detection system on synthetic homes, then serves POST
+// /v1/detect and /v1/explain (JSON bodies of deployed rules plus an
+// optional event log) beside the observability routes (/metrics, /statusz,
+// /debug/pprof/) on one address.
+//
+// -republish retrains in the background on that cadence and atomically
+// publishes each new model to the running server — the smoke test drives
+// a concurrent request storm through exactly this window to prove a swap
+// never drops or tears a request. SIGINT/SIGTERM shut the server down
+// gracefully.
+//
+// Usage:
+//
+//	fexserve -addr :8080 -homes 10 -rules 22 -seed 7 \
+//	    -workers 4 -batch 8 -republish 2s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fexiot"
+	"fexiot/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address (\":0\" picks a free port)")
+	homes := flag.Int("homes", 10, "synthetic training homes")
+	rulesPerHome := flag.Int("rules", 22, "rules per training home")
+	graphsPerHome := flag.Int("graphs", 4, "graphs sampled per home")
+	rounds := flag.Int("rounds", 3, "contrastive training rounds")
+	pairs := flag.Int("pairs", 80, "contrastive pairs per round")
+	seed := flag.Int64("seed", 7, "deterministic seed")
+	procs := flag.Int("procs", 0, "kernel parallelism bound (0 = FEXIOT_PROCS or all cores)")
+	workers := flag.Int("workers", 0, "inference workers (0 = kernel parallelism)")
+	queue := flag.Int("queue", 0, "request queue depth (0 = 4 × workers)")
+	batch := flag.Int("batch", 0, "micro-batch size (≤1 disables batching)")
+	batchWindow := flag.Duration("batch-window", 0, "micro-batch fill window (0 = 2ms)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline")
+	republish := flag.Duration("republish", 0,
+		"retrain and publish a fresh snapshot on this cadence (0 disables)")
+	sample := flag.String("sample", "",
+		"write a sample /v1/detect request body (JSON) to this file at startup")
+	flag.Parse()
+
+	opts := fexiot.DefaultOptions()
+	opts.Seed = *seed
+	opts.WordDim, opts.SentenceDim = 24, 32
+	opts.Hidden, opts.EmbedDim = 12, 8
+	opts.Procs = *procs
+	opts.Metrics = obs.NewRegistry()
+	sys, err := fexiot.New(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	train := trainingGraphs(sys, *homes, *rulesPerHome, *graphsPerHome, *seed)
+	fmt.Printf("training on %d graphs from %d homes...\n", len(train), *homes)
+	sys.TrainCentral(train, *rounds, *pairs)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv, err := fexiot.Serve(ctx, sys, fexiot.ServeOptions{
+		Addr:           *addr,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		BatchSize:      *batch,
+		BatchWindow:    *batchWindow,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer srv.Close()
+
+	if *sample != "" {
+		// A ready-made request body so shell harnesses (serve-smoke) can
+		// storm /v1/detect without generating rule JSON themselves.
+		home := fexiot.GenerateHome(fexiot.ArchetypeNames()[0], 14, *seed+101)
+		buf, err := json.Marshal(map[string]any{"rules": home})
+		if err == nil {
+			err = os.WriteFile(*sample, buf, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sample:", err)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("fexserve listening on http://%s\n", srv.Addr())
+
+	if *republish > 0 {
+		go func() {
+			t := time.NewTicker(*republish)
+			defer t.Stop()
+			for round := 1; ; round++ {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					// Each retrain ends in an atomic snapshot publish; the
+					// server keeps answering on the old model until then.
+					sys.TrainCentral(train, 1, *pairs)
+					fmt.Printf("republished snapshot %d\n", round)
+				}
+			}
+		}()
+	}
+
+	<-ctx.Done()
+	fmt.Println("shutting down")
+}
+
+// trainingGraphs samples labelled offline graphs across the built-in
+// archetypes.
+func trainingGraphs(sys *fexiot.System, homes, rulesPerHome, graphsPerHome int,
+	seed int64) []*fexiot.Graph {
+	archs := fexiot.ArchetypeNames()
+	var train []*fexiot.Graph
+	for h := 0; h < homes; h++ {
+		deployed := fexiot.GenerateHome(archs[h%len(archs)], rulesPerHome,
+			seed+int64(h+1))
+		for i := 0; i < graphsPerHome; i++ {
+			train = append(train, sys.BuildGraph(deployed))
+		}
+	}
+	return train
+}

@@ -19,8 +19,12 @@
 package fexiot
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"fexiot/internal/autodiff"
 	"fexiot/internal/drift"
@@ -36,6 +40,7 @@ import (
 	"fexiot/internal/ml"
 	"fexiot/internal/obs"
 	"fexiot/internal/rules"
+	"fexiot/internal/serve"
 )
 
 // Re-exported core types so callers only import this package for common
@@ -120,12 +125,25 @@ func (o Options) validate() error {
 
 // System is the assembled FexIoT pipeline: data fusion, detection and
 // explanation.
+//
+// The inference state lives in an immutable snapshot behind an atomic
+// pointer: Detect/Explain/Evaluate load the pointer once and run entirely
+// on that frozen model, while the training entry points build a complete
+// new snapshot and swap it in. Training and serving may therefore run
+// concurrently from any number of goroutines — a request never observes a
+// half-trained model.
 type System struct {
-	opts     Options
-	encoder  *embed.Encoder
-	builder  *fusion.Builder
-	detector *gnn.Detector
-	drift    *drift.Detector
+	opts    Options
+	encoder *embed.Encoder
+	builder *fusion.Builder
+
+	// state is the live frozen snapshot (nil until trained); seq stamps
+	// each published snapshot monotonically.
+	state atomic.Pointer[serve.Snapshot]
+	seq   atomic.Uint64
+
+	mu      sync.Mutex
+	engines []*serve.Engine // serving engines receiving every publish
 }
 
 // New assembles a system, or reports why the options cannot be built.
@@ -202,9 +220,9 @@ func (s *System) TrainCentral(graphs []*Graph, rounds, pairsPerRound int) {
 		cfg.Seed = s.opts.Seed + int64(r)
 		gnn.TrainContrastive(m, graphs, cfg, opt)
 	}
-	s.detector = gnn.NewDetector(m, 3)
-	s.detector.FitClassifier(graphs)
-	s.fitDrift(graphs)
+	det := gnn.NewDetector(m, 3)
+	det.FitClassifier(graphs)
+	s.install(det, fitDrift(det, graphs))
 }
 
 // FederatedAlgorithm names a federated training strategy.
@@ -268,9 +286,9 @@ func (s *System) TrainFederated(clientData [][]*Graph, algo FederatedAlgorithm,
 	for _, ds := range clientData {
 		all = append(all, ds...)
 	}
-	s.detector = gnn.NewDetector(clients[0].Model, 3)
-	s.detector.FitClassifier(all)
-	s.fitDrift(all)
+	det := gnn.NewDetector(clients[0].Model, 3)
+	det.FitClassifier(all)
+	s.install(det, fitDrift(det, all))
 	return &FederatedResult{
 		TransferredBytes: res.Comm.Total(),
 		Clusters:         res.FinalClusters,
@@ -278,26 +296,47 @@ func (s *System) TrainFederated(clientData [][]*Graph, algo FederatedAlgorithm,
 }
 
 // fitDrift fits the MAD drift detector on training embeddings.
-func (s *System) fitDrift(graphs []*Graph) {
-	emb := gnn.EmbedAll(s.detector.Model, graphs)
+func fitDrift(det *gnn.Detector, graphs []*Graph) *drift.Detector {
+	emb := gnn.EmbedAll(det.Model, graphs)
 	labels := make([]int, len(graphs))
 	for i, g := range graphs {
 		if g.Label {
 			labels[i] = 1
 		}
 	}
-	s.drift = drift.Fit(emb, labels)
+	return drift.Fit(emb, labels)
 }
 
-// Verdict is a detection outcome.
-type Verdict struct {
-	Vulnerable bool
-	Score      float64 // vulnerability probability
-	Drifting   bool    // outside the training distribution (§III-B3)
-	// DriftScore is the MAD-normalised out-of-distribution deviation A^k;
-	// values above 3 set Drifting.
-	DriftScore float64
+// install deep-freezes a freshly trained detector into a snapshot, swaps
+// it live and fans it out to every attached serving engine. Training
+// mutates only its own locals up to this point, so the swap is the single
+// linearisation point between training and serving.
+func (s *System) install(det *gnn.Detector, drf *drift.Detector) {
+	snap := serve.NewSnapshot(s.seq.Add(1), det, drf,
+		explain.DefaultSearchConfig(s.opts.Seed))
+	s.state.Store(snap)
+	s.mu.Lock()
+	engines := append([]*serve.Engine(nil), s.engines...)
+	s.mu.Unlock()
+	for _, e := range engines {
+		e.Publish(snap)
+	}
 }
+
+// attach registers a serving engine to receive every future snapshot,
+// seeding it with the current one when the system is already trained.
+func (s *System) attach(e *serve.Engine) {
+	s.mu.Lock()
+	s.engines = append(s.engines, e)
+	s.mu.Unlock()
+	if snap := s.state.Load(); snap != nil {
+		e.Publish(snap)
+	}
+}
+
+// Verdict is a detection outcome (see serve.Verdict for field docs: score,
+// drift deviation and the MAD-threshold drift flag).
+type Verdict = serve.Verdict
 
 // ErrNotTrained reports a detection, explanation or evaluation request
 // against a system with no installed detector. Test with errors.Is; train
@@ -305,64 +344,128 @@ type Verdict struct {
 var ErrNotTrained = errors.New("fexiot: system not trained; call TrainCentral or TrainFederated first")
 
 // Detect classifies an interaction graph. It fails with ErrNotTrained
-// until the system has been trained.
+// until the system has been trained. The verdict is computed entirely on
+// one frozen snapshot, so Detect is safe to call concurrently with
+// training and with other requests.
 func (s *System) Detect(g *Graph) (Verdict, error) {
-	if s.detector == nil {
+	snap := s.state.Load()
+	if snap == nil {
 		return Verdict{}, ErrNotTrained
 	}
-	score := s.detector.Score(g)
-	v := Verdict{Vulnerable: score >= 0.5, Score: score}
-	if s.drift != nil {
-		z := gnn.Embed(s.detector.Model, g)
-		v.DriftScore = s.drift.Anomaly(z)
-		v.Drifting = s.drift.IsDrifting(z)
-	}
-	return v, nil
+	return snap.Detect(g), nil
 }
 
-// Explanation is a detected root-cause subgraph.
-type Explanation struct {
-	NodeIndices []int
-	Rules       []*Rule
-	Score       float64
-	Fidelity    float64
-	Sparsity    float64
-}
+// Explanation is a detected root-cause subgraph (see serve.Explanation).
+type Explanation = serve.Explanation
 
 // Explain runs the SHAP-guided Monte Carlo beam search (Algorithm 2) on a
 // graph and returns the highest-risk connected subgraph. It fails with
-// ErrNotTrained until the system has been trained.
+// ErrNotTrained until the system has been trained, and — like Detect —
+// runs on one frozen snapshot, so concurrent calls with identical inputs
+// return identical explanations.
 func (s *System) Explain(g *Graph) (Explanation, error) {
-	if s.detector == nil {
+	snap := s.state.Load()
+	if snap == nil {
 		return Explanation{}, ErrNotTrained
 	}
-	h := func(sub *graph.Graph) float64 {
-		if sub.N() == 0 {
-			return 0
-		}
-		return s.detector.Score(sub)
-	}
-	cfg := explain.DefaultSearchConfig(s.opts.Seed)
-	ex := explain.FexIoTExplain(h, g, cfg)
-	out := Explanation{
-		NodeIndices: ex.Nodes,
-		Score:       ex.Score,
-		Fidelity:    explain.Fidelity(h, g, ex.Nodes),
-		Sparsity:    explain.Sparsity(g, ex.Nodes),
-	}
-	for _, idx := range ex.Nodes {
-		out.Rules = append(out.Rules, g.Nodes[idx].Rule)
-	}
-	return out, nil
+	return snap.Explain(g), nil
 }
 
 // Evaluate computes detection metrics over labelled graphs. It fails with
 // ErrNotTrained until the system has been trained.
 func (s *System) Evaluate(graphs []*Graph) (Metrics, error) {
-	if s.detector == nil {
+	snap := s.state.Load()
+	if snap == nil {
 		return Metrics{}, ErrNotTrained
 	}
-	return gnn.EvaluateDetector(s.detector, graphs), nil
+	return snap.Evaluate(graphs), nil
+}
+
+// ServeOptions configures fexiot.Serve. The zero value serves on an
+// ephemeral port with worker count following the kernel parallelism bound
+// and no micro-batching.
+type ServeOptions struct {
+	// Addr is the HTTP listen address (empty or ":0" picks a free port).
+	Addr string
+	// Workers bounds concurrent inference goroutines (0 = kernel
+	// parallelism, i.e. mat.Parallelism).
+	Workers int
+	// QueueDepth bounds pending requests (0 = 4 × Workers); full queues
+	// make callers wait out their deadline instead of dropping work.
+	QueueDepth int
+	// BatchSize > 1 groups same-shape detect requests arriving within
+	// BatchWindow into one batched forward pass.
+	BatchSize int
+	// BatchWindow is the batch fill deadline (0 = 2ms).
+	BatchWindow time.Duration
+	// RequestTimeout bounds each HTTP request's queue wait + inference
+	// (0 = 30s).
+	RequestTimeout time.Duration
+}
+
+// Server is a running inference endpoint: /v1/detect and /v1/explain
+// mounted beside the observability routes (/metrics, /statusz,
+// /debug/pprof/).
+type Server struct {
+	engine *serve.Engine
+	http   *obs.HTTPServer
+}
+
+// Addr reports the resolved listen address (host:port).
+func (s *Server) Addr() string { return s.http.Addr() }
+
+// Close shuts the HTTP listener down and drains the worker pool. It is
+// safe to call more than once.
+func (s *Server) Close() error {
+	err := s.http.Close()
+	s.engine.Close()
+	return err
+}
+
+// Serve starts the snapshot-isolated inference engine over sys: requests
+// run against the system's current frozen snapshot, and every completed
+// training call (TrainCentral, TrainFederated) atomically publishes its
+// new model to the running server without a restart or a dropped request.
+// The server shuts down when ctx is cancelled (or via Close). Serving
+// works on an untrained system — requests fail with 503 until the first
+// training completes.
+func Serve(ctx context.Context, sys *System, opts ServeOptions) (*Server, error) {
+	eng := serve.NewEngine(serve.Options{
+		Workers:     opts.Workers,
+		QueueDepth:  opts.QueueDepth,
+		BatchSize:   opts.BatchSize,
+		BatchWindow: opts.BatchWindow,
+		Metrics:     sys.opts.Metrics,
+	})
+	sys.attach(eng)
+	timeout := opts.RequestTimeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	mux := obs.NewHandler(sys.opts.Metrics)
+	eng.Mount(mux, func(rs []*Rule, log Log) (*Graph, error) {
+		if len(rs) == 0 {
+			return nil, errors.New("fexiot: no rules to fuse")
+		}
+		if len(log) > 0 {
+			return sys.BuildOnlineGraph(rs, log), nil
+		}
+		return sys.BuildGraph(rs), nil
+	}, timeout)
+	addr := opts.Addr
+	if addr == "" {
+		addr = ":0"
+	}
+	hs, err := obs.StartHTTPHandler(addr, mux)
+	if err != nil {
+		eng.Close()
+		return nil, fmt.Errorf("fexiot: serve: %w", err)
+	}
+	srv := &Server{engine: eng, http: hs}
+	if ctx != nil {
+		context.AfterFunc(ctx, func() { srv.Close() })
+	}
+	return srv, nil
 }
 
 // GenerateHome samples a synthetic smart-home rule deployment from the

@@ -2,6 +2,7 @@ package autodiff
 
 import (
 	"math"
+	"sort"
 
 	"fexiot/internal/mat"
 )
@@ -67,10 +68,20 @@ func ScaleGrads(grads map[string]*mat.Dense, s float64) {
 // ClipGrads rescales gradients so the global norm does not exceed maxNorm.
 // It returns the pre-clip global norm, which callers feed into training
 // telemetry (a clipped step is one where the return value exceeds maxNorm).
+//
+// The squared-norm sum runs over sorted parameter names: summing in map
+// iteration order made the clip factor — and therefore the trained weights
+// — differ in the last few ulps between otherwise identical runs, which
+// breaks the serving layer's bit-identical republish guarantee.
 func ClipGrads(grads map[string]*mat.Dense, maxNorm float64) float64 {
+	names := make([]string, 0, len(grads))
+	for name := range grads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var total float64
-	for _, g := range grads {
-		for _, x := range g.Data() {
+	for _, name := range names {
+		for _, x := range grads[name].Data() {
 			total += x * x
 		}
 	}

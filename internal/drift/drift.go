@@ -115,6 +115,22 @@ func (d *Detector) IsDrifting(z []float64) bool {
 	return d.Anomaly(z) > d.Threshold
 }
 
+// Clone returns a deep copy of the fitted statistics. Serving snapshots
+// freeze drift state with it so a later Fit on fresh training data can
+// never mutate the centroids an in-flight request is reading.
+func (d *Detector) Clone() *Detector {
+	if d == nil {
+		return nil
+	}
+	out := &Detector{Threshold: d.Threshold}
+	for _, c := range d.Centroids {
+		out.Centroids = append(out.Centroids, append([]float64(nil), c...))
+	}
+	out.MedianDist = append([]float64(nil), d.MedianDist...)
+	out.MAD = append([]float64(nil), d.MAD...)
+	return out
+}
+
 // FilterDrifting partitions test embeddings into in-distribution indices
 // and drifting indices.
 func (d *Detector) FilterDrifting(embeddings [][]float64) (in, drifting []int) {

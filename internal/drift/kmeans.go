@@ -21,8 +21,15 @@ func NewKMeans(k int, seed int64) *KMeans {
 	return &KMeans{K: k, MaxIter: 100, Seed: seed}
 }
 
-// Fit runs Lloyd's algorithm.
+// Fit runs Lloyd's algorithm seeded from the struct's Seed field.
 func (km *KMeans) Fit(x [][]float64) {
+	km.FitRNG(x, rng.New(km.Seed))
+}
+
+// FitRNG runs Lloyd's algorithm drawing all randomness from the supplied
+// caller-owned generator, so concurrent fits on distinct KMeans values
+// never share a random stream and equal-seeded fits are bit-identical.
+func (km *KMeans) FitRNG(x [][]float64, r *rng.RNG) {
 	n := len(x)
 	if n == 0 {
 		return
@@ -31,7 +38,6 @@ func (km *KMeans) Fit(x [][]float64) {
 	if k > n {
 		k = n
 	}
-	r := rng.New(km.Seed)
 
 	// k-means++ seeding.
 	centers := make([][]float64, 0, k)

@@ -9,11 +9,14 @@ import (
 // TSNE is exact t-distributed stochastic neighbour embedding (van der
 // Maaten & Hinton) with PCA initialisation — the dimensionality reduction
 // behind Fig. 6. Exact O(n²) gradients are fine at the paper's n = 1500.
+//
+// Embed is fully deterministic: the PCA initialisation replaces the random
+// init of the reference implementation, so there is no random state to seed
+// or share, and concurrent embeds on distinct inputs are race-free.
 type TSNE struct {
 	Perplexity float64
 	Iters      int
 	LR         float64
-	Seed       int64
 }
 
 // NewTSNE uses the conventional defaults.

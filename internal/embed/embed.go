@@ -15,6 +15,7 @@ package embed
 import (
 	"hash/fnv"
 	"math"
+	"sync"
 
 	"fexiot/internal/lexicon"
 	"fexiot/internal/mat"
@@ -22,15 +23,20 @@ import (
 )
 
 // Encoder produces deterministic word and sentence embeddings. It memoises
-// aggressively and is therefore NOT safe for concurrent use; build node
-// features up front (graphs cache their features) before fanning out
-// goroutines.
+// aggressively behind a mutex, so it is safe for concurrent use: the
+// serving engine fuses request rules into graphs from many goroutines at
+// once, and every embedding is a pure function of its key, so concurrent
+// fills converge on identical vectors. Cached slices are shared — callers
+// must treat returned vectors as read-only (every call site copies or
+// accumulates into its own buffer).
 type Encoder struct {
 	wordDim     int
 	sentenceDim int
 	lex         *lexicon.Lexicon
-	wordCache   map[string][]float64
-	sentCache   map[string][]float64
+
+	mu        sync.Mutex
+	wordCache map[string][]float64
+	sentCache map[string][]float64
 }
 
 // Default dimensions follow the paper: 300-d word vectors, 512-d sentence
@@ -116,11 +122,19 @@ func (e *Encoder) wordAt(w string, dim int) []float64 {
 
 // Word returns the word embedding (wordDim) for w, cached.
 func (e *Encoder) Word(w string) []float64 {
+	e.mu.Lock()
 	if v, ok := e.wordCache[w]; ok {
+		e.mu.Unlock()
 		return v
 	}
+	e.mu.Unlock()
+	// Compute outside the lock: wordAt is a pure function of (w, dim), so
+	// two goroutines racing on a miss produce identical vectors and either
+	// may win the cache slot.
 	v := e.wordAt(w, e.wordDim)
+	e.mu.Lock()
 	e.wordCache[w] = v
+	e.mu.Unlock()
 	return v
 }
 
@@ -154,9 +168,12 @@ func (e *Encoder) KeyPhraseEmbedding(rule string) []float64 {
 // term, the stand-in for the Universal Sentence Encoder used on concise
 // voice-assistant commands.
 func (e *Encoder) Sentence(s string) []float64 {
+	e.mu.Lock()
 	if v, ok := e.sentCache[s]; ok {
+		e.mu.Unlock()
 		return v
 	}
+	e.mu.Unlock()
 	toks := text.Tokenize(s)
 	out := make([]float64, e.sentenceDim)
 	var content []string

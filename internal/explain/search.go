@@ -9,8 +9,11 @@ import (
 )
 
 // RewardFunc scores a candidate subgraph of g under model h; the three
-// explanation methods differ only in this function.
-type RewardFunc func(h ScoreFunc, g *graph.Graph, sub []int, seed int64) float64
+// explanation methods differ only in this function. The reward draws all
+// randomness from the supplied generator — never from package-level or
+// struct-shared state — so two searches with the same config are
+// bit-identical even when they run concurrently.
+type RewardFunc func(h ScoreFunc, g *graph.Graph, sub []int, r *rng.RNG) float64
 
 // SearchConfig parameterises Algorithm 2.
 type SearchConfig struct {
@@ -128,7 +131,7 @@ func Search(h ScoreFunc, g *graph.Graph, cfg SearchConfig, reward RewardFunc) Ex
 	}
 	if len(root) <= cfg.MinNodes {
 		return Explanation{Nodes: root,
-			Score: reward(h, g, root, cfg.Seed)}
+			Score: reward(h, g, root, rng.New(cfg.Seed))}
 	}
 	r := rng.New(cfg.Seed)
 
@@ -141,7 +144,10 @@ func Search(h ScoreFunc, g *graph.Graph, cfg SearchConfig, reward RewardFunc) Ex
 		if v, ok := rewardCache[k]; ok {
 			return v
 		}
-		v := reward(h, g, sub, cfg.Seed+int64(len(rewardCache)))
+		// Each cache miss gets its own generator at a deterministic
+		// cache-ordinal offset, so the reward stream is a pure function of
+		// the config regardless of evaluation interleaving.
+		v := reward(h, g, sub, rng.New(cfg.Seed+int64(len(rewardCache))))
 		rewardCache[k] = v
 		return v
 	}
@@ -207,16 +213,16 @@ func Search(h ScoreFunc, g *graph.Graph, cfg SearchConfig, reward RewardFunc) Ex
 // FexIoTExplain runs Algorithm 2 with the kernel-SHAP reward — the paper's
 // method.
 func FexIoTExplain(h ScoreFunc, g *graph.Graph, cfg SearchConfig) Explanation {
-	return Search(h, g, cfg, func(h ScoreFunc, g *graph.Graph, sub []int, seed int64) float64 {
-		return KernelSHAP(h, g, sub, cfg.KernelSamples, seed)
+	return Search(h, g, cfg, func(h ScoreFunc, g *graph.Graph, sub []int, r *rng.RNG) float64 {
+		return KernelSHAPRNG(h, g, sub, cfg.KernelSamples, r)
 	})
 }
 
 // SubgraphX runs the same search with the Shapley-value reward under the
 // player-independence assumption (Yuan et al. 2021).
 func SubgraphX(h ScoreFunc, g *graph.Graph, cfg SearchConfig) Explanation {
-	return Search(h, g, cfg, func(h ScoreFunc, g *graph.Graph, sub []int, seed int64) float64 {
-		return ShapleyValue(h, g, sub, cfg.KernelSamples, seed)
+	return Search(h, g, cfg, func(h ScoreFunc, g *graph.Graph, sub []int, r *rng.RNG) float64 {
+		return ShapleyValueRNG(h, g, sub, cfg.KernelSamples, r)
 	})
 }
 
@@ -224,7 +230,7 @@ func SubgraphX(h ScoreFunc, g *graph.Graph, cfg SearchConfig) Explanation {
 // the MCTS_GNN baseline, which the paper shows cannot capture connections
 // among graph structures.
 func MCTSGNN(h ScoreFunc, g *graph.Graph, cfg SearchConfig) Explanation {
-	return Search(h, g, cfg, func(h ScoreFunc, g *graph.Graph, sub []int, _ int64) float64 {
+	return Search(h, g, cfg, func(h ScoreFunc, g *graph.Graph, sub []int, _ *rng.RNG) float64 {
 		return h(maskGraph(g, sub))
 	})
 }

@@ -27,6 +27,14 @@ func maskGraph(g *graph.Graph, keep []int) *graph.Graph {
 // h(subgraph ∪ coalition), and solves the weighted linear regression of
 // Eq. (6) whose first coefficient is the subgraph's SHAP value φ.
 func KernelSHAP(h ScoreFunc, g *graph.Graph, sub []int, k int, seed int64) float64 {
+	return KernelSHAPRNG(h, g, sub, k, rng.New(seed))
+}
+
+// KernelSHAPRNG is KernelSHAP with an explicit caller-owned generator: all
+// coalition sampling draws from r and nothing else, so concurrent calls
+// with independent generators never race and repeat calls with equal-seeded
+// generators are bit-identical.
+func KernelSHAPRNG(h ScoreFunc, g *graph.Graph, sub []int, k int, r *rng.RNG) float64 {
 	n := g.N()
 	inSub := make([]bool, n)
 	for _, i := range sub {
@@ -44,7 +52,6 @@ func KernelSHAP(h ScoreFunc, g *graph.Graph, sub []int, k int, seed int64) float
 		// No other players: φ is the full prediction minus the empty value.
 		return h(g) - h(maskGraph(g, nil))
 	}
-	r := rng.New(seed)
 
 	var rows [][]float64 // z′ indicator vectors (length m)
 	var ys []float64     // h(T_x⁻¹(z′))
@@ -139,6 +146,12 @@ func binom(n, k int) float64 {
 // other players, assuming player independence (the assumption the paper
 // criticises).
 func ShapleyValue(h ScoreFunc, g *graph.Graph, sub []int, samples int, seed int64) float64 {
+	return ShapleyValueRNG(h, g, sub, samples, rng.New(seed))
+}
+
+// ShapleyValueRNG is ShapleyValue with an explicit caller-owned generator
+// (see KernelSHAPRNG for the concurrency contract).
+func ShapleyValueRNG(h ScoreFunc, g *graph.Graph, sub []int, samples int, r *rng.RNG) float64 {
 	n := g.N()
 	inSub := make([]bool, n)
 	for _, i := range sub {
@@ -153,7 +166,6 @@ func ShapleyValue(h ScoreFunc, g *graph.Graph, sub []int, samples int, seed int6
 	if len(others) == 0 {
 		return h(g) - h(maskGraph(g, nil))
 	}
-	r := rng.New(seed)
 	var total float64
 	for s := 0; s < samples; s++ {
 		perm := r.Perm(len(others))

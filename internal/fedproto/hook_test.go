@@ -1,0 +1,106 @@
+package fedproto
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestOnRoundCompleteHook runs a real two-client loopback federation with
+// the publish hook installed and pins the hook contract the serving layer
+// relies on: fired exactly once per round, in round order, with the
+// post-aggregation global model, strictly before the federation reports
+// completion — so a snapshot published from the hook can never lag the
+// final model.
+func TestOnRoundCompleteHook(t *testing.T) {
+	const rounds = 3
+	addr := freeAddr(t)
+
+	var mu sync.Mutex
+	var gotRounds []int
+	var gotLayers []int
+	var lastGlobal [][]float64
+
+	srv := NewServer(ServerConfig{
+		Addr:         addr,
+		Clients:      2,
+		Rounds:       rounds,
+		Eps1:         0.4,
+		Eps2:         0.95,
+		NumLayers:    2,
+		RoundTimeout: 10 * time.Second,
+		OnRoundComplete: func(round int, global []LayerPayload) {
+			mu.Lock()
+			defer mu.Unlock()
+			gotRounds = append(gotRounds, round)
+			gotLayers = append(gotLayers, len(global))
+			lastGlobal = lastGlobal[:0]
+			for _, lp := range global {
+				for _, d := range lp.Data {
+					cp := make([]float64, len(d))
+					copy(cp, d)
+					lastGlobal = append(lastGlobal, cp)
+				}
+			}
+		},
+	})
+	serverDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(context.Background())
+		serverDone <- err
+	}()
+
+	var wg sync.WaitGroup
+	for id := 0; id < 2; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := scriptParams()
+			_, err := RunClientSession(context.Background(), ClientConfig{
+				Addr: addr, ID: id, DataSize: 10,
+				OpTimeout: 10 * time.Second, Seed: int64(id),
+			}, p, func(round int) map[int]float64 {
+				addDelta(p, 0.1)
+				return zeroNorms(p)
+			})
+			if err != nil {
+				t.Errorf("client %d: %v", id, err)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if err := <-serverDone; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(gotRounds) != rounds {
+		t.Fatalf("hook fired %d times (%v), want %d", len(gotRounds), gotRounds, rounds)
+	}
+	for i, r := range gotRounds {
+		if r != i {
+			t.Fatalf("hook round order %v, want 0..%d ascending", gotRounds, rounds-1)
+		}
+		if gotLayers[i] != 2 {
+			t.Fatalf("round %d: hook saw %d layers, want 2", r, gotLayers[i])
+		}
+	}
+
+	// Equal-sized clients applying identical +0.1 deltas each round make the
+	// FedAvg closed form exact: after 3 rounds every weight is its scripted
+	// start + 0.3. The two layers each hold one 1x2 tensor.
+	if len(lastGlobal) != 2 {
+		t.Fatalf("final global tensors = %d, want 2", len(lastGlobal))
+	}
+	wantVals := [][]float64{{1.3, 2.3}, {3.3, 4.3}}
+	for l, row := range wantVals {
+		for j, w := range row {
+			if got := lastGlobal[l][j]; math.Abs(got-w) > 1e-9 {
+				t.Fatalf("final global layer %d[%d] = %v, want %v", l, j, got, w)
+			}
+		}
+	}
+}

@@ -89,6 +89,15 @@ type ServerConfig struct {
 	// directions, checkpoint and aggregation latency. Nil keeps every
 	// instrumentation point on the zero-overhead path.
 	Metrics *obs.Registry
+	// OnRoundComplete, when non-nil, is invoked after each round's
+	// aggregation with the closed round number and the whole-federation
+	// global mean — the publish hook serving engines use to swap in a
+	// fresh snapshot without polling. The server retains the slice as its
+	// resume state, so the callback must treat it as read-only (copy
+	// before mutating). It runs synchronously on the round loop (off the
+	// server mutex), so slow consumers should hand the payload to their
+	// own goroutine.
+	OnRoundComplete func(round int, global []LayerPayload)
 }
 
 // roundTimeout resolves the configured deadline policy.
@@ -633,6 +642,9 @@ func (s *Server) runRound(round int) error {
 	s.mu.Unlock()
 	s.metrics.rounds.Inc()
 	s.metrics.responders.Set(float64(len(responders)))
+	if s.cfg.OnRoundComplete != nil {
+		s.cfg.OnRoundComplete(round, global)
+	}
 
 	// Durability point: the round is closed and the global model final, so
 	// this is the state a restarted server must resume from.

@@ -7,6 +7,7 @@ package fusion
 
 import (
 	"fmt"
+	"sync"
 
 	"fexiot/internal/embed"
 	"fexiot/internal/graph"
@@ -33,6 +34,10 @@ type Builder struct {
 	// three app platforms); homogeneous datasets set a single platform.
 	InjectPlatforms []rules.Platform
 
+	// mu serialises graph construction: the builder's RNG stream, graph
+	// counter and pool index are shared, and the serving engine builds
+	// graphs from concurrent HTTP handlers.
+	mu      sync.Mutex
 	r       *rng.RNG
 	nextID  int
 	indexed []*rules.Rule
@@ -145,6 +150,8 @@ func (b *Builder) Offline(pool []*rules.Rule, size int) *graph.Graph {
 	if len(pool) == 0 {
 		panic("fusion: empty rule pool")
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if size < 2 {
 		size = 2
 	}
@@ -257,7 +264,9 @@ func (b *Builder) Offline(pool []*rules.Rule, size int) *graph.Graph {
 // mass concentrated near the ~18-node average Table III reports) and builds
 // a graph.
 func (b *Builder) OfflineSized(pool []*rules.Rule) *graph.Graph {
+	b.mu.Lock()
 	size := 2 + b.r.Poisson(9) + b.r.Intn(7)
+	b.mu.Unlock()
 	if size > 50 {
 		size = 50
 	}

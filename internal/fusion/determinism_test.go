@@ -1,0 +1,115 @@
+package fusion
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"fexiot/internal/embed"
+	"fexiot/internal/eventlog"
+	"fexiot/internal/graph"
+	"fexiot/internal/rules"
+)
+
+// fingerprint serialises everything the downstream learners read from a
+// graph — node order, features, spaces, rule identities, edge list, label,
+// tags — so two byte-identical graphs produce equal strings.
+func fingerprint(g *graph.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "id=%s online=%v label=%v tags=%v\n", g.ID, g.Online, g.Label, g.Tags)
+	for i, n := range g.Nodes {
+		id := "<anomaly>"
+		if n.Rule != nil {
+			id = n.Rule.ID
+		}
+		fmt.Fprintf(&b, "node %d rule=%s space=%d feat=%x\n", i, id, n.Space, n.Feature)
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "edge %d->%d kind=%d\n", e.From, e.To, e.Kind)
+	}
+	return b.String()
+}
+
+// anomalousLog simulates a home then appends unexplained commands and
+// state changes for several distinct device instances — enough anomaly
+// nodes that map-ordered emission would scramble the graph between runs.
+func anomalousLog(deployed []*rules.Rule) eventlog.Log {
+	log := eventlog.NewSimulator(deployed, 17).Run(600)
+	t := int64(700)
+	for i, inst := range []struct{ room, dev string }{
+		{"kitchen", "light"}, {"bedroom", "heater"}, {"garage", "door"},
+		{"livingroom", "fan"}, {"bathroom", "valve"},
+	} {
+		// Unexplained command: no RuleID claims it.
+		log = append(log, eventlog.Event{
+			Time: t + int64(i), Device: inst.dev, Room: inst.room,
+			Channel: rules.ChanPower, Value: "on", Kind: eventlog.KindCommand,
+		})
+		// Unexplained state change: no command within the 2s window.
+		log = append(log, eventlog.Event{
+			Time: t + 100 + int64(i), Device: inst.dev, Room: inst.room,
+			Channel: rules.ChanPower, Value: "off", Kind: eventlog.KindState,
+		})
+	}
+	return log
+}
+
+// TestBuildOnlineByteIdenticalOver100Runs pins the online fusion path
+// against map-iteration-order nondeterminism: rebuilding the same graph
+// from the same inputs 100 times — each on a fresh builder so graph IDs
+// and RNG state match — must yield byte-identical node/edge/feature
+// layouts every time.
+func TestBuildOnlineByteIdenticalOver100Runs(t *testing.T) {
+	deployed := rules.NewGenerator(9, rules.Archetypes()[0], "h-").RuleSet(18)
+	log := anomalousLog(deployed)
+
+	build := func() *graph.Graph {
+		enc := embed.NewEncoder(24, 32)
+		b := NewBuilder(7, enc)
+		return b.BuildOnline(deployed, log)
+	}
+	ref := build()
+	if ref.N() == 0 {
+		t.Fatal("online graph is empty; fixture does not exercise fusion")
+	}
+	anomalies := 0
+	for _, n := range ref.Nodes {
+		if n.Rule == nil {
+			anomalies++
+		}
+	}
+	if anomalies < 3 {
+		t.Fatalf("only %d anomaly nodes; fixture does not exercise the sorted emission path", anomalies)
+	}
+	want := fingerprint(ref)
+	for run := 1; run < 100; run++ {
+		if got := fingerprint(build()); got != want {
+			t.Fatalf("run %d produced a different graph:\n--- want\n%s\n--- got\n%s",
+				run, clip(want), clip(got))
+		}
+	}
+}
+
+// TestOfflineByteIdenticalOver100Runs covers the offline construction path
+// with the same pin.
+func TestOfflineByteIdenticalOver100Runs(t *testing.T) {
+	pool := MultiHomePool(3, 10, 15, nil)
+	build := func() *graph.Graph {
+		enc := embed.NewEncoder(24, 32)
+		b := NewBuilder(7, enc)
+		return b.Offline(pool, 12)
+	}
+	want := fingerprint(build())
+	for run := 1; run < 100; run++ {
+		if got := fingerprint(build()); got != want {
+			t.Fatalf("run %d produced a different offline graph", run)
+		}
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 2000 {
+		return s[:2000] + "…"
+	}
+	return s
+}

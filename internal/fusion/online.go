@@ -2,6 +2,7 @@ package fusion
 
 import (
 	"fmt"
+	"sort"
 
 	"fexiot/internal/embed"
 	"fexiot/internal/eventlog"
@@ -21,6 +22,8 @@ const TriggerWindow = 120
 // and whether the timestamps support the causal direction. The result is
 // the "fine-grained real-time interaction graph" of the paper.
 func (b *Builder) BuildOnline(deployed []*rules.Rule, log eventlog.Log) *graph.Graph {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.nextID++
 	g := &graph.Graph{ID: fmt.Sprintf("on%d", b.nextID), Online: true}
 
@@ -126,7 +129,20 @@ func (b *Builder) addAnomalyNodes(g *graph.Graph, members []*rules.Rule,
 			}
 		}
 	}
-	for k, kind := range anomalous {
+	// Map iteration order is randomised; anomaly nodes must land in a fixed
+	// order or the same log fuses into byte-different graphs across calls.
+	keys := make([]instKey, 0, len(anomalous))
+	for k := range anomalous {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].room != keys[j].room {
+			return keys[i].room < keys[j].room
+		}
+		return keys[i].dev < keys[j].dev
+	})
+	for _, k := range keys {
+		kind := anomalous[k]
 		feat := make([]float64, 0, b.Encoder.WordDim()+2*SigDim)
 		feat = append(feat, b.Encoder.RuleEmbedding(
 			kind+" of the "+k.room+" "+k.dev)...)

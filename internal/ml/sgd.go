@@ -78,3 +78,13 @@ func (c *SGDClassifier) Predict(q []float64) int {
 // Weights exposes the linear coefficients (used by the SHAP bridge, which
 // reads φ_j = w_j (x_j − E[x_j]) off a linear model).
 func (c *SGDClassifier) Weights() ([]float64, float64) { return c.w, c.b }
+
+// Clone returns a deep copy of the classifier, including the fitted
+// weights. Serving snapshots freeze classifier state with it so a later
+// Fit on the original can never reach into an in-flight request.
+func (c *SGDClassifier) Clone() *SGDClassifier {
+	out := *c
+	out.w = append([]float64(nil), c.w...)
+	out.ClassWeights = append([]float64(nil), c.ClassWeights...)
+	return &out
+}

@@ -11,8 +11,10 @@ import (
 // NewHandler builds the observability mux: Prometheus text at /metrics, a
 // JSON snapshot at /statusz, and the full net/http/pprof suite under
 // /debug/pprof/. It works with a nil registry (endpoints serve empty
-// metric sets; pprof is always live).
-func NewHandler(r *Registry) http.Handler {
+// metric sets; pprof is always live). The concrete mux is returned so
+// subsystems (the serving engine's /v1/* endpoints) can mount additional
+// routes before handing it to StartHTTPHandler.
+func NewHandler(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -54,11 +56,18 @@ type HTTPServer struct {
 // address via Addr, which is what operators scrape and the smoke test
 // greps from the process log.
 func StartHTTP(addr string, r *Registry) (*HTTPServer, error) {
+	return StartHTTPHandler(addr, NewHandler(r))
+}
+
+// StartHTTPHandler binds addr (":0" picks a free port) and serves an
+// arbitrary handler in a background goroutine — typically a NewHandler mux
+// with extra routes mounted on it.
+func StartHTTPHandler(addr string, h http.Handler) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &HTTPServer{ln: ln, srv: &http.Server{Handler: NewHandler(r)}}
+	s := &HTTPServer{ln: ln, srv: &http.Server{Handler: h}}
 	go s.srv.Serve(ln)
 	return s, nil
 }

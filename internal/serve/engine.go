@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fexiot/internal/graph"
+	"fexiot/internal/mat"
+	"fexiot/internal/obs"
+)
+
+// ErrNotReady reports a request against an engine with no published
+// snapshot yet (no training has completed). HTTP maps it to 503.
+var ErrNotReady = errors.New("serve: no model snapshot published yet")
+
+// ErrClosed reports a request against a closed engine.
+var ErrClosed = errors.New("serve: engine closed")
+
+// Options tunes the engine. The zero value is usable: worker count follows
+// mat.Parallelism (the dense-kernel sizing discipline), the queue holds
+// 4× workers, batching is off.
+type Options struct {
+	// Workers bounds the concurrent inference goroutines (0 = the current
+	// mat.Parallelism setting).
+	Workers int
+	// QueueDepth bounds the pending-request queue (0 = 4 × Workers).
+	// Callers block — honouring their context deadline — when it is full,
+	// so overload degrades into latency rather than dropped work.
+	QueueDepth int
+	// BatchSize > 1 enables micro-batching: a worker that dequeues a
+	// detect request drains up to BatchSize−1 more same-shape (equal node
+	// count) detect requests arriving within BatchWindow and answers them
+	// with one batched forward pass.
+	BatchSize int
+	// BatchWindow is how long a worker waits to fill a batch (0 = 2ms,
+	// only meaningful when BatchSize > 1).
+	BatchWindow time.Duration
+	// Metrics, when non-nil, receives the fexiot_serve_* telemetry.
+	Metrics *obs.Registry
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return mat.Parallelism()
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth > 0 {
+		return o.QueueDepth
+	}
+	return 4 * o.workers()
+}
+
+func (o Options) batchWindow() time.Duration {
+	if o.BatchWindow > 0 {
+		return o.BatchWindow
+	}
+	return 2 * time.Millisecond
+}
+
+type reqKind int
+
+const (
+	reqDetect reqKind = iota
+	reqExplain
+)
+
+type request struct {
+	kind reqKind
+	g    *graph.Graph
+	ctx  context.Context
+	// done is buffered (capacity 1) so a worker can always deliver even
+	// when the caller already gave up on its context.
+	done chan response
+}
+
+type response struct {
+	verdict Verdict
+	expl    Explanation
+	seq     uint64
+	err     error
+}
+
+// Engine serves Detect/Explain requests from a bounded worker pool against
+// the current snapshot. All methods are safe for concurrent use.
+type Engine struct {
+	snap atomic.Pointer[Snapshot]
+	reqs chan *request
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+	opts Options
+	m    metrics
+}
+
+// NewEngine starts the worker pool (and the snapshot-age ticker when
+// metrics are enabled). The engine serves ErrNotReady until the first
+// Publish.
+func NewEngine(opts Options) *Engine {
+	e := &Engine{
+		reqs: make(chan *request, opts.queueDepth()),
+		stop: make(chan struct{}),
+		opts: opts,
+		m:    newMetrics(opts.Metrics),
+	}
+	for i := 0; i < opts.workers(); i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	if opts.Metrics != nil {
+		e.wg.Add(1)
+		go e.ageTicker()
+	}
+	return e
+}
+
+// Publish atomically swaps the live snapshot. In-flight requests finish on
+// the snapshot they loaded; requests dequeued after the swap see the new
+// one. Nil snapshots are ignored.
+func (e *Engine) Publish(s *Snapshot) {
+	if s == nil {
+		return
+	}
+	e.snap.Store(s)
+	e.m.published.Inc()
+	e.m.snapshotSeq.Set(float64(s.Seq()))
+	e.m.snapshotAge.Set(time.Since(s.Created()).Seconds())
+}
+
+// Snapshot returns the live snapshot (nil before the first Publish) —
+// callers that want several reads from one consistent model pin it once.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Detect classifies g on the worker pool. It blocks until a worker
+// answers, ctx expires, or the engine closes; the returned sequence number
+// identifies the snapshot that served the request.
+func (e *Engine) Detect(ctx context.Context, g *graph.Graph) (Verdict, uint64, error) {
+	resp := e.submit(ctx, &request{kind: reqDetect, g: g, ctx: ctx})
+	return resp.verdict, resp.seq, resp.err
+}
+
+// Explain runs the explanation search on the worker pool.
+func (e *Engine) Explain(ctx context.Context, g *graph.Graph) (Explanation, uint64, error) {
+	resp := e.submit(ctx, &request{kind: reqExplain, g: g, ctx: ctx})
+	return resp.expl, resp.seq, resp.err
+}
+
+func (e *Engine) submit(ctx context.Context, r *request) response {
+	r.done = make(chan response, 1)
+	e.m.inflight.Add(1)
+	defer e.m.inflight.Add(-1)
+	sp := obs.StartSpan(e.m.latency(r.kind))
+	defer sp.End()
+	select {
+	case e.reqs <- r:
+		e.m.queueDepth.Set(float64(len(e.reqs)))
+	case <-ctx.Done():
+		return response{err: ctx.Err()}
+	case <-e.stop:
+		return response{err: ErrClosed}
+	}
+	select {
+	case resp := <-r.done:
+		return resp
+	case <-ctx.Done():
+		return response{err: ctx.Err()}
+	case <-e.stop:
+		return response{err: ErrClosed}
+	}
+}
+
+// Close stops the workers and fails queued requests with ErrClosed. It is
+// idempotent and waits for the pool to drain.
+func (e *Engine) Close() {
+	e.once.Do(func() { close(e.stop) })
+	e.wg.Wait()
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case r := <-e.reqs:
+			e.m.queueDepth.Set(float64(len(e.reqs)))
+			e.process(r)
+		}
+	}
+}
+
+// process answers one dequeued request, micro-batching same-shape detect
+// requests when enabled. The snapshot is loaded exactly once per batch, so
+// every request in it — and each individual request — is answered by a
+// single consistent model even if Publish lands mid-flight.
+func (e *Engine) process(r *request) {
+	if r.ctx != nil && r.ctx.Err() != nil {
+		r.done <- response{err: r.ctx.Err()}
+		return
+	}
+	if r.kind == reqDetect && e.opts.BatchSize > 1 {
+		e.processBatch(r)
+		return
+	}
+	snap := e.snap.Load()
+	if snap == nil {
+		r.done <- response{err: ErrNotReady}
+		return
+	}
+	switch r.kind {
+	case reqDetect:
+		r.done <- response{verdict: snap.Detect(r.g), seq: snap.Seq()}
+	case reqExplain:
+		r.done <- response{expl: snap.Explain(r.g), seq: snap.Seq()}
+	}
+}
+
+// processBatch drains up to BatchSize−1 further detect requests with the
+// same node count arriving within BatchWindow, then answers the whole
+// batch with one DetectBatch pass. Requests that do not fit the batch
+// (explain, different shape) are answered individually afterwards by the
+// same worker.
+func (e *Engine) processBatch(first *request) {
+	batch := []*request{first}
+	var leftover []*request
+	shape := first.g.N()
+	timer := time.NewTimer(e.opts.batchWindow())
+	defer timer.Stop()
+fill:
+	for len(batch) < e.opts.BatchSize {
+		select {
+		case r := <-e.reqs:
+			if r.ctx != nil && r.ctx.Err() != nil {
+				r.done <- response{err: r.ctx.Err()}
+				continue
+			}
+			if r.kind == reqDetect && r.g.N() == shape {
+				batch = append(batch, r)
+			} else {
+				leftover = append(leftover, r)
+			}
+		case <-timer.C:
+			break fill
+		case <-e.stop:
+			// Shutting down: fail everything we hold.
+			for _, r := range append(batch, leftover...) {
+				r.done <- response{err: ErrClosed}
+			}
+			return
+		}
+	}
+	e.m.batchSize.Observe(float64(len(batch)))
+	snap := e.snap.Load()
+	if snap == nil {
+		for _, r := range batch {
+			r.done <- response{err: ErrNotReady}
+		}
+	} else {
+		gs := make([]*graph.Graph, len(batch))
+		for i, r := range batch {
+			gs[i] = r.g
+		}
+		verdicts := snap.DetectBatch(gs)
+		for i, r := range batch {
+			r.done <- response{verdict: verdicts[i], seq: snap.Seq()}
+		}
+	}
+	for _, r := range leftover {
+		e.process(r)
+	}
+}
+
+// ageTicker keeps the snapshot-age gauge current between publishes.
+func (e *Engine) ageTicker() {
+	defer e.wg.Done()
+	t := time.NewTicker(250 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-t.C:
+			if s := e.snap.Load(); s != nil {
+				e.m.snapshotAge.Set(time.Since(s.Created()).Seconds())
+			}
+		}
+	}
+}

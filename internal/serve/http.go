@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"fexiot/internal/eventlog"
+	"fexiot/internal/graph"
+	"fexiot/internal/rules"
+)
+
+// GraphBuilder fuses a request's rules (and optional event log) into an
+// interaction graph. The facade supplies System.BuildGraph /
+// System.BuildOnlineGraph; it must be safe for concurrent use.
+type GraphBuilder func(rs []*rules.Rule, log eventlog.Log) (*graph.Graph, error)
+
+// DetectRequest is the JSON body of POST /v1/detect and /v1/explain: the
+// deployed automation rules, plus an optional cleaned event log — when
+// present the rules and log fuse into an online graph, otherwise the rules
+// chain into an offline graph.
+type DetectRequest struct {
+	Rules  []*rules.Rule `json:"rules"`
+	Events eventlog.Log  `json:"events,omitempty"`
+}
+
+// DetectResponse is the JSON reply of POST /v1/detect.
+type DetectResponse struct {
+	Vulnerable  bool    `json:"vulnerable"`
+	Score       float64 `json:"score"`
+	Drifting    bool    `json:"drifting"`
+	DriftScore  float64 `json:"drift_score"`
+	Nodes       int     `json:"nodes"`
+	SnapshotSeq uint64  `json:"snapshot_seq"`
+}
+
+// ExplainResponse is the JSON reply of POST /v1/explain.
+type ExplainResponse struct {
+	NodeIndices []int    `json:"node_indices"`
+	RuleIDs     []string `json:"rule_ids"`
+	Score       float64  `json:"score"`
+	Fidelity    float64  `json:"fidelity"`
+	Sparsity    float64  `json:"sparsity"`
+	SnapshotSeq uint64   `json:"snapshot_seq"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Mount registers the inference endpoints on mux (typically the
+// obs.NewHandler mux, so /v1/* rides next to /metrics). timeout bounds
+// each request's queue wait + inference (0 disables).
+func (e *Engine) Mount(mux *http.ServeMux, build GraphBuilder, timeout time.Duration) {
+	mux.HandleFunc("/v1/detect", func(w http.ResponseWriter, req *http.Request) {
+		e.handle(w, req, build, timeout, reqDetect)
+	})
+	mux.HandleFunc("/v1/explain", func(w http.ResponseWriter, req *http.Request) {
+		e.handle(w, req, build, timeout, reqExplain)
+	})
+}
+
+func (e *Engine) handle(w http.ResponseWriter, req *http.Request,
+	build GraphBuilder, timeout time.Duration, kind reqKind) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed,
+			errorResponse{"POST a JSON body with rules (and optional events)"})
+		return
+	}
+	var in DetectRequest
+	if err := json.NewDecoder(req.Body).Decode(&in); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad JSON: " + err.Error()})
+		return
+	}
+	if len(in.Rules) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"rules must be non-empty"})
+		return
+	}
+	g, err := build(in.Rules, in.Events)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	ctx := req.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	switch kind {
+	case reqDetect:
+		v, seq, err := e.Detect(ctx, g)
+		if err != nil {
+			writeServeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, DetectResponse{
+			Vulnerable:  v.Vulnerable,
+			Score:       v.Score,
+			Drifting:    v.Drifting,
+			DriftScore:  v.DriftScore,
+			Nodes:       g.N(),
+			SnapshotSeq: seq,
+		})
+	case reqExplain:
+		ex, seq, err := e.Explain(ctx, g)
+		if err != nil {
+			writeServeError(w, err)
+			return
+		}
+		out := ExplainResponse{
+			NodeIndices: ex.NodeIndices,
+			Score:       ex.Score,
+			Fidelity:    ex.Fidelity,
+			Sparsity:    ex.Sparsity,
+			SnapshotSeq: seq,
+		}
+		for _, r := range ex.Rules {
+			if r != nil {
+				out.RuleIDs = append(out.RuleIDs, r.ID)
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+// writeServeError maps engine errors onto HTTP statuses: not-ready and
+// closed are 503 (retryable elsewhere), deadline expiry is 504.
+func writeServeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotReady), errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}

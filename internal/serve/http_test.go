@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fexiot/internal/embed"
+	"fexiot/internal/eventlog"
+	"fexiot/internal/fusion"
+	"fexiot/internal/graph"
+	"fexiot/internal/rules"
+)
+
+// httpFixture stands a full engine + mux up behind httptest.
+func httpFixture(t *testing.T, publish bool) (*httptest.Server, *Engine, []*rules.Rule) {
+	t.Helper()
+	det, drf, _ := fixture(41)
+	e := NewEngine(Options{Workers: 2})
+	t.Cleanup(e.Close)
+	if publish {
+		e.Publish(NewSnapshot(1, det, drf, searchCfg))
+	}
+	// The builder mirrors the facade: offline chaining of the posted rules.
+	// The encoder dims match the fixture's, and embeddings are a pure
+	// function of (text, dim), so features line up across instances.
+	enc := embed.NewEncoder(24, 32)
+	b := fusion.NewBuilder(51, enc)
+	build := func(rs []*rules.Rule, log eventlog.Log) (*graph.Graph, error) {
+		if len(log) > 0 {
+			return b.BuildOnline(rs, log), nil
+		}
+		size := len(rs)
+		if size > 50 {
+			size = 50
+		}
+		return b.Offline(rs, size), nil
+	}
+	mux := http.NewServeMux()
+	e.Mount(mux, build, 5*time.Second)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	home := rules.NewGenerator(21, rules.Archetypes()[0], "h-").RuleSet(14)
+	return ts, e, home
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+func TestHTTPDetectEndToEnd(t *testing.T) {
+	ts, _, home := httpFixture(t, true)
+
+	resp, body := postJSON(t, ts.URL+"/v1/detect", DetectRequest{Rules: home})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out DetectResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	if out.Score < 0 || out.Score > 1 {
+		t.Fatalf("score %v out of range", out.Score)
+	}
+	if out.Vulnerable != (out.Score >= 0.5) {
+		t.Fatal("verdict inconsistent with score")
+	}
+	if out.SnapshotSeq != 1 {
+		t.Fatalf("snapshot_seq = %d, want 1", out.SnapshotSeq)
+	}
+	if out.Nodes < 2 {
+		t.Fatalf("nodes = %d, want ≥ 2", out.Nodes)
+	}
+}
+
+func TestHTTPExplainEndToEnd(t *testing.T) {
+	ts, _, home := httpFixture(t, true)
+	resp, body := postJSON(t, ts.URL+"/v1/explain", DetectRequest{Rules: home})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out ExplainResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	if len(out.NodeIndices) == 0 {
+		t.Fatal("empty explanation")
+	}
+	if out.Sparsity < 0 || out.Sparsity > 1 {
+		t.Fatalf("sparsity %v out of range", out.Sparsity)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	ts, _, home := httpFixture(t, false) // nothing published
+
+	// 503 before the first snapshot.
+	resp, body := postJSON(t, ts.URL+"/v1/detect", DetectRequest{Rules: home})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unpublished engine: status %d (%s), want 503", resp.StatusCode, body)
+	}
+
+	// 400 on malformed JSON.
+	r, err := http.Post(ts.URL+"/v1/detect", "application/json",
+		strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", r.StatusCode)
+	}
+
+	// 400 on empty rules.
+	resp, _ = postJSON(t, ts.URL+"/v1/detect", DetectRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty rules: status %d, want 400", resp.StatusCode)
+	}
+
+	// 405 on GET.
+	g, err := http.Get(ts.URL + "/v1/detect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Body.Close()
+	if g.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d, want 405", g.StatusCode)
+	}
+}
+
+// TestHTTPConcurrentStormWithSwap drives concurrent HTTP detects while a
+// snapshot publish lands: zero non-2xx responses allowed — the in-process
+// twin of scripts/serve-smoke.sh.
+func TestHTTPConcurrentStormWithSwap(t *testing.T) {
+	ts, e, home := httpFixture(t, true)
+	det2, drf2, _ := fixture(43)
+
+	const goroutines = 6
+	const perG = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				resp, body := postJSON(t, ts.URL+"/v1/detect", DetectRequest{Rules: home})
+				if resp.StatusCode != http.StatusOK {
+					errs <- &httpErr{resp.StatusCode, string(body)}
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	e.Publish(NewSnapshot(2, det2, drf2, searchCfg))
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type httpErr struct {
+	code int
+	body string
+}
+
+func (e *httpErr) Error() string { return e.body }

@@ -1,0 +1,50 @@
+package serve
+
+import "fexiot/internal/obs"
+
+// metrics bundles the fexiot_serve_* handles, resolved once at engine
+// construction. Every obs handle is nil-safe, so a nil registry keeps the
+// serving hot path on the zero-overhead branch.
+type metrics struct {
+	detectDur   *obs.Histogram
+	explainDur  *obs.Histogram
+	inflight    *obs.Gauge
+	queueDepth  *obs.Gauge
+	batchSize   *obs.Histogram
+	snapshotAge *obs.Gauge
+	snapshotSeq *obs.Gauge
+	published   *obs.Counter
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	if r == nil {
+		return metrics{}
+	}
+	dur := r.HistogramVec("fexiot_serve_request_duration_seconds",
+		"end-to-end request latency (queue wait + inference)",
+		obs.DefBuckets, "endpoint")
+	return metrics{
+		detectDur:  dur.With("detect"),
+		explainDur: dur.With("explain"),
+		inflight: r.Gauge("fexiot_serve_inflight",
+			"requests currently queued or executing"),
+		queueDepth: r.Gauge("fexiot_serve_queue_depth",
+			"pending requests in the worker queue"),
+		batchSize: r.Histogram("fexiot_serve_batch_size",
+			"detect requests answered per batched forward pass",
+			[]float64{1, 2, 4, 8, 16, 32}),
+		snapshotAge: r.Gauge("fexiot_serve_snapshot_age_seconds",
+			"seconds since the live snapshot was frozen"),
+		snapshotSeq: r.Gauge("fexiot_serve_snapshot_seq",
+			"publish sequence number of the live snapshot"),
+		published: r.Counter("fexiot_serve_snapshots_published_total",
+			"snapshots published to the engine"),
+	}
+}
+
+func (m metrics) latency(kind reqKind) *obs.Histogram {
+	if kind == reqExplain {
+		return m.explainDur
+	}
+	return m.detectDur
+}

@@ -1,0 +1,117 @@
+#!/bin/sh
+# serve-smoke: end-to-end smoke test of the snapshot-isolated serving
+# engine against the real fexserve binary. Starts the server with a short
+# background republish cadence, drives a concurrent curl storm at
+# /v1/detect while fresh snapshots publish underneath it, and fails on any
+# non-2xx response, a stalled publish counter, or missing fexiot_serve_*
+# metrics. `make serve-smoke` runs this as part of `make check`.
+set -eu
+
+WORKDIR=$(mktemp -d)
+SERVER_LOG="$WORKDIR/server.log"
+cleanup() {
+    [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building fexserve..."
+go build -o "$WORKDIR/fexserve" ./cmd/fexserve
+
+# A compact training run keeps startup fast; -republish retrains and
+# atomically swaps the live snapshot every 300ms — the storm below runs
+# straight through several of those swap windows.
+"$WORKDIR/fexserve" -addr 127.0.0.1:0 -homes 4 -rules 16 -graphs 2 \
+    -rounds 1 -pairs 30 -republish 300ms \
+    -sample "$WORKDIR/detect.json" >"$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+
+# Poll the log until the resolved address appears.
+ADDR=""
+for _ in $(seq 1 300); do
+    ADDR=$(sed -n 's#^fexserve listening on http://##p' "$SERVER_LOG" | head -n1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "serve-smoke: server died:"; cat "$SERVER_LOG"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve-smoke: no listen address in server log"; cat "$SERVER_LOG"; exit 1; }
+[ -s "$WORKDIR/detect.json" ] || { echo "serve-smoke: sample request body never written"; exit 1; }
+echo "serve-smoke: serving on $ADDR"
+
+# One warm-up detect plus one explain: both endpoints must answer 200
+# before the storm starts.
+for endpoint in detect explain; do
+    code=$(curl -s -o "$WORKDIR/$endpoint.out" -w '%{http_code}' \
+        -H 'Content-Type: application/json' \
+        --data-binary @"$WORKDIR/detect.json" "http://$ADDR/v1/$endpoint" || echo 000)
+    [ "$code" = 200 ] || { echo "serve-smoke: /v1/$endpoint returned $code:"; \
+        cat "$WORKDIR/$endpoint.out"; exit 1; }
+done
+grep -q '"snapshot_seq"' "$WORKDIR/detect.out" \
+    || { echo "serve-smoke: detect response has no snapshot_seq:"; cat "$WORKDIR/detect.out"; exit 1; }
+
+published() {
+    curl -sf "http://$ADDR/metrics" 2>/dev/null \
+        | sed -n 's/^fexiot_serve_snapshots_published_total //p' | head -n1
+}
+BASE=$(published)
+[ -n "$BASE" ] || { echo "serve-smoke: fexiot_serve_snapshots_published_total missing"; exit 1; }
+
+# The storm: four workers POST /v1/detect in a tight loop until told to
+# stop, logging every status code. Meanwhile the main shell waits for the
+# publish counter to advance at least twice past the baseline, proving the
+# swaps landed while requests were in flight.
+STOP="$WORKDIR/stop"
+storm() {
+    n=0
+    while [ ! -f "$STOP" ] && [ "$n" -lt 2000 ]; do
+        curl -s -o /dev/null -w '%{http_code}\n' \
+            -H 'Content-Type: application/json' \
+            --data-binary @"$WORKDIR/detect.json" \
+            "http://$ADDR/v1/detect" >>"$WORKDIR/codes.$1" || echo 000 >>"$WORKDIR/codes.$1"
+        n=$((n+1))
+    done
+}
+storm 1 & W1=$!
+storm 2 & W2=$!
+storm 3 & W3=$!
+storm 4 & W4=$!
+
+ADVANCED=""
+for _ in $(seq 1 300); do
+    NOW=$(published)
+    if [ -n "$NOW" ] && [ "$(printf '%.0f' "$NOW")" -ge "$(($(printf '%.0f' "$BASE") + 2))" ]; then
+        ADVANCED=yes
+        break
+    fi
+    sleep 0.1
+done
+touch "$STOP"
+wait "$W1" "$W2" "$W3" "$W4"
+
+[ -n "$ADVANCED" ] || { echo "serve-smoke: publish counter never advanced past $BASE"; \
+    cat "$SERVER_LOG"; exit 1; }
+
+TOTAL=$(cat "$WORKDIR"/codes.* | wc -l)
+BAD=$(grep -cv '^2' "$WORKDIR"/codes.* 2>/dev/null | awk -F: '{s+=$2} END {print s+0}')
+[ "$TOTAL" -ge 8 ] || { echo "serve-smoke: storm only issued $TOTAL requests"; exit 1; }
+[ "$BAD" -eq 0 ] || { echo "serve-smoke: $BAD of $TOTAL storm requests were non-2xx:"; \
+    sort "$WORKDIR"/codes.* | uniq -c; exit 1; }
+
+# The serve metric families must all be live on /metrics.
+curl -sf "http://$ADDR/metrics" >"$WORKDIR/metrics.txt"
+for metric in fexiot_serve_request_duration_seconds fexiot_serve_inflight \
+    fexiot_serve_queue_depth fexiot_serve_snapshot_age_seconds \
+    fexiot_serve_snapshot_seq fexiot_serve_snapshots_published_total; do
+    grep -q "^# TYPE $metric " "$WORKDIR/metrics.txt" \
+        || { echo "serve-smoke: $metric missing from /metrics"; cat "$WORKDIR/metrics.txt"; exit 1; }
+done
+grep -q '^fexiot_serve_request_duration_seconds_count{endpoint="detect"} [1-9]' "$WORKDIR/metrics.txt" \
+    || { echo "serve-smoke: no detect latency samples recorded"; \
+         grep fexiot_serve_request "$WORKDIR/metrics.txt" || true; exit 1; }
+
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "serve-smoke: OK ($TOTAL storm requests all 2xx across ≥2 snapshot swaps, serve metrics live)"

@@ -1,0 +1,177 @@
+package fexiot_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fexiot"
+)
+
+// smallSystem builds a compact system + training corpus sized for the
+// -race concurrency tests.
+func smallSystem(t *testing.T, seed int64) (*fexiot.System, []*fexiot.Graph) {
+	t.Helper()
+	opts := fexiot.DefaultOptions()
+	opts.Seed, opts.WordDim, opts.SentenceDim = seed, 24, 32
+	opts.Hidden, opts.EmbedDim = 12, 8
+	sys, err := fexiot.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train []*fexiot.Graph
+	archs := fexiot.ArchetypeNames()
+	for home := 0; home < 6; home++ {
+		deployed := fexiot.GenerateHome(archs[home%len(archs)], 20, seed+int64(home))
+		for i := 0; i < 2; i++ {
+			train = append(train, sys.BuildGraph(deployed))
+		}
+	}
+	return sys, train
+}
+
+// TestConcurrentDetectWhileTraining is the race regression test for the
+// facade: N goroutines hammer Detect/Explain/Evaluate while training
+// rounds retrain and republish the model. On the pre-snapshot code, where
+// TrainCentral wrote the detector and drift fields Detect was reading,
+// this fails under -race.
+func TestConcurrentDetectWhileTraining(t *testing.T) {
+	sys, train := smallSystem(t, 7)
+	sys.TrainCentral(train, 1, 40)
+
+	probe := sys.BuildGraph(fexiot.GenerateHome("safety", 16, 99))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, err := sys.Detect(probe)
+				if err != nil {
+					t.Errorf("Detect during training: %v", err)
+					return
+				}
+				if v.Score < 0 || v.Score > 1 {
+					t.Errorf("torn verdict: score %v", v.Score)
+					return
+				}
+				if i == 0 {
+					if _, err := sys.Evaluate(train[:2]); err != nil {
+						t.Errorf("Evaluate during training: %v", err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	for r := 0; r < 3; r++ {
+		sys.TrainCentral(train, 1, 40)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRetrainPublishesBitIdenticalToFreshSystem pins the publish
+// semantics: after retraining, the live system must answer exactly like a
+// fresh System trained the same way — the snapshot copy adds nothing and
+// loses nothing.
+func TestRetrainPublishesBitIdenticalToFreshSystem(t *testing.T) {
+	sysA, trainA := smallSystem(t, 11)
+	sysB, trainB := smallSystem(t, 11)
+	// sysA goes through an extra earlier training round whose snapshot the
+	// retrain must fully replace; sysB trains once from scratch.
+	sysA.TrainCentral(trainA, 1, 20)
+	sysA.TrainCentral(trainA, 2, 40)
+	sysB.TrainCentral(trainB, 2, 40)
+
+	probeA := sysA.BuildGraph(fexiot.GenerateHome("safety", 16, 5))
+	probeB := sysB.BuildGraph(fexiot.GenerateHome("safety", 16, 5))
+	va, err := sysA.Detect(probeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := sysB.Detect(probeB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va != vb {
+		t.Fatalf("served verdict %+v != fresh-system verdict %+v", va, vb)
+	}
+}
+
+// TestServeEndToEnd boots the full fexiot.Serve stack: HTTP detects
+// answer, a retrain republishes, and the snapshot sequence advances
+// without a dropped request.
+func TestServeEndToEnd(t *testing.T) {
+	sys, train := smallSystem(t, 13)
+	sys.TrainCentral(train, 1, 40)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, err := fexiot.Serve(ctx, sys, fexiot.ServeOptions{
+		Addr:           "127.0.0.1:0",
+		Workers:        2,
+		RequestTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	home := fexiot.GenerateHome("safety", 14, 3)
+	body, err := json.Marshal(map[string]any{"rules": home})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detect := func() (float64, uint64) {
+		resp, err := http.Post(base+"/v1/detect", "application/json",
+			strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("detect status %d", resp.StatusCode)
+		}
+		var out struct {
+			Score       float64 `json:"score"`
+			SnapshotSeq uint64  `json:"snapshot_seq"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Score, out.SnapshotSeq
+	}
+
+	_, seq1 := detect()
+	if seq1 != 1 {
+		t.Fatalf("first snapshot seq = %d, want 1", seq1)
+	}
+	// Retraining publishes straight into the running server.
+	sys.TrainCentral(train, 1, 40)
+	_, seq2 := detect()
+	if seq2 != 2 {
+		t.Fatalf("post-retrain snapshot seq = %d, want 2", seq2)
+	}
+
+	// The obs routes ride on the same mux.
+	resp, err := http.Get(base + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statusz status %d", resp.StatusCode)
+	}
+}
