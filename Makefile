@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race race-fedproto race-fed race-serve vet bench \
-	bench-matmul bench-agg bench-codecs poison-smoke obs-smoke \
-	serve-smoke fuzz check
+.PHONY: all build test race race-fedproto race-fed race-serve \
+	race-supervise soak vet bench bench-matmul bench-agg bench-codecs \
+	poison-smoke obs-smoke serve-smoke fuzz check
 
 all: build
 
@@ -35,6 +35,21 @@ race-fed:
 race-serve:
 	$(GO) test -race -count=1 ./internal/serve/...
 	$(GO) test -race -count=1 -run 'TestConcurrentDetectWhileTraining|TestServeEndToEnd' .
+
+# The self-healing runtime under the race detector, never from cache: the
+# supervisor's restart/circuit paths, the chaos primitives, and the serve
+# engine's Close-vs-submit and shed races.
+race-supervise:
+	$(GO) test -race -count=1 ./internal/supervise/... ./internal/chaos/...
+	$(GO) test -race -count=1 \
+		-run 'TestCloseSubmitRace|TestOverloadShedsFast|TestWorkerPanicRecoveredAndRestarted' \
+		./internal/serve/
+
+# The cross-layer chaos soak: a seeded plan kills a client link, hard-stops
+# and restarts the checkpointing federation server over a corrupted latest
+# snapshot, and crashes a supervised republisher — everything must recover.
+soak:
+	$(GO) test -count=1 -run TestSoak -timeout 300s ./internal/chaos/
 
 vet:
 	$(GO) vet ./...
@@ -81,5 +96,5 @@ fuzz:
 	$(GO) test -fuzz FuzzDecodeUpdate -fuzztime $(FUZZTIME) ./internal/fedproto/
 	$(GO) test -fuzz FuzzDecodeHello -fuzztime $(FUZZTIME) ./internal/fedproto/
 
-check: build vet test race race-fedproto race-fed race-serve poison-smoke \
-	bench-codecs obs-smoke serve-smoke
+check: build vet test race race-fedproto race-fed race-serve \
+	race-supervise soak poison-smoke bench-codecs obs-smoke serve-smoke

@@ -2,13 +2,17 @@
 // a compact detection system on synthetic homes, then serves POST
 // /v1/detect and /v1/explain (JSON bodies of deployed rules plus an
 // optional event log) beside the observability routes (/metrics, /statusz,
-// /debug/pprof/) on one address.
+// /debug/pprof/) and the health probes (/healthz, /readyz) on one address.
 //
 // -republish retrains in the background on that cadence and atomically
 // publishes each new model to the running server — the smoke test drives
 // a concurrent request storm through exactly this window to prove a swap
-// never drops or tears a request. SIGINT/SIGTERM shut the server down
-// gracefully.
+// never drops or tears a request. The republisher runs supervised: a
+// panic restarts it with backoff, and an exhausted restart budget flips
+// /healthz to 503. A full request queue fast-fails with 429 +
+// Retry-After; -max-body bounds request bodies (413 beyond it) and
+// -max-snapshot-age makes /readyz report 503 once the live snapshot goes
+// stale. SIGINT/SIGTERM shut the server down gracefully.
 //
 // Usage:
 //
@@ -28,6 +32,7 @@ import (
 
 	"fexiot"
 	"fexiot/internal/obs"
+	"fexiot/internal/supervise"
 )
 
 func main() {
@@ -44,6 +49,9 @@ func main() {
 	batch := flag.Int("batch", 0, "micro-batch size (≤1 disables batching)")
 	batchWindow := flag.Duration("batch-window", 0, "micro-batch fill window (0 = 2ms)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline")
+	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = 1 MiB)")
+	maxSnapAge := flag.Duration("max-snapshot-age", 0,
+		"/readyz fails once the live snapshot is older than this (0 = any snapshot)")
 	republish := flag.Duration("republish", 0,
 		"retrain and publish a fresh snapshot on this cadence (0 disables)")
 	sample := flag.String("sample", "",
@@ -76,6 +84,8 @@ func main() {
 		BatchSize:      *batch,
 		BatchWindow:    *batchWindow,
 		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		MaxSnapshotAge: *maxSnapAge,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -100,13 +110,19 @@ func main() {
 	fmt.Printf("fexserve listening on http://%s\n", srv.Addr())
 
 	if *republish > 0 {
-		go func() {
+		// The republisher runs supervised: a panicking retrain is restarted
+		// with backoff instead of silently killing the cadence, and a
+		// crash-looping one trips a circuit that fails /healthz (and, with
+		// -max-snapshot-age, eventually /readyz as the snapshot staled).
+		sup := supervise.New(supervise.Options{Metrics: opts.Metrics})
+		srv.Health().AddLiveness("republisher", sup.Check)
+		sup.Go(ctx, "republisher", func(ctx context.Context) error {
 			t := time.NewTicker(*republish)
 			defer t.Stop()
 			for round := 1; ; round++ {
 				select {
 				case <-ctx.Done():
-					return
+					return nil
 				case <-t.C:
 					// Each retrain ends in an atomic snapshot publish; the
 					// server keeps answering on the old model until then.
@@ -114,7 +130,7 @@ func main() {
 					fmt.Printf("republished snapshot %d\n", round)
 				}
 			}
-		}()
+		})
 	}
 
 	<-ctx.Done()

@@ -12,10 +12,16 @@
 // -checkpoint-every closed rounds and resumes from the latest snapshot
 // after a crash.
 //
+// Checkpoints carry a SHA-256 integrity footer and rotate the previous
+// snapshot to .prev: a corrupt or truncated latest file rolls back to the
+// previous good one instead of failing startup.
+//
 // -http serves observability on the given address: Prometheus metrics at
-// /metrics, a JSON status snapshot at /statusz and pprof profiles under
-// /debug/pprof/. SIGINT/SIGTERM shut the federation down gracefully,
-// flushing a final checkpoint when -checkpoint is set.
+// /metrics, a JSON status snapshot at /statusz, pprof profiles under
+// /debug/pprof/, and health probes at /healthz (accept loop supervised,
+// restart budget not exhausted) and /readyz (listening for clients).
+// SIGINT/SIGTERM shut the federation down gracefully, flushing a final
+// checkpoint when -checkpoint is set.
 //
 // Usage:
 //
@@ -80,13 +86,6 @@ func main() {
 	if *httpAddr != "" {
 		reg = obs.NewRegistry()
 		mat.InstrumentKernels(reg)
-		hs, err := obs.StartHTTP(*httpAddr, reg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "obs:", err)
-			os.Exit(2)
-		}
-		defer hs.Close()
-		fmt.Printf("obs listening on http://%s\n", hs.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -108,6 +107,23 @@ func main() {
 		CheckpointEvery: *checkpointEvery,
 		Metrics:         reg,
 	})
+	if *httpAddr != "" {
+		// The obs mux carries the health probes beside /metrics: /healthz
+		// fails once the supervised accept loop trips its restart circuit,
+		// /readyz reports whether the federation listener is up.
+		mux := obs.NewHandler(reg)
+		health := obs.NewHealth()
+		health.AddLiveness("fedproto", srv.Healthy)
+		health.AddReadiness("listening", srv.Ready)
+		health.Mount(mux)
+		hs, err := obs.StartHTTPHandler(*httpAddr, mux)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obs:", err)
+			os.Exit(2)
+		}
+		defer hs.Close()
+		fmt.Printf("obs listening on http://%s\n", hs.Addr())
+	}
 	fmt.Printf("fexserver listening on %s for %d clients, %d rounds (quorum %.2f, %d strikes, %s aggregation, %s updates)\n",
 		*addr, *clients, *rounds, *quorum, *strikes, agg.Name(), *codecName)
 	if *checkpoint != "" {

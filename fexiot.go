@@ -401,15 +401,29 @@ type ServeOptions struct {
 	// RequestTimeout bounds each HTTP request's queue wait + inference
 	// (0 = 30s).
 	RequestTimeout time.Duration
+	// MaxBodyBytes bounds HTTP request bodies (0 = 1 MiB); oversized
+	// payloads fail with 413 before any parsing work.
+	MaxBodyBytes int64
+	// MaxSnapshotAge, when > 0, gates readiness on snapshot freshness:
+	// /readyz fails once the live snapshot is older than this, so an
+	// instance whose republisher died stops advertising itself. Zero
+	// requires only that some snapshot has been published.
+	MaxSnapshotAge time.Duration
 }
 
 // Server is a running inference endpoint: /v1/detect and /v1/explain
 // mounted beside the observability routes (/metrics, /statusz,
-// /debug/pprof/).
+// /debug/pprof/) and the health probes (/healthz, /readyz).
 type Server struct {
 	engine *serve.Engine
 	http   *obs.HTTPServer
+	health *obs.Health
 }
+
+// Health exposes the server's probe set so callers can register extra
+// liveness or readiness checks (a supervised republisher, a federation
+// link) next to the built-in ones.
+func (s *Server) Health() *obs.Health { return s.health }
 
 // Addr reports the resolved listen address (host:port).
 func (s *Server) Addr() string { return s.http.Addr() }
@@ -427,15 +441,17 @@ func (s *Server) Close() error {
 // training call (TrainCentral, TrainFederated) atomically publishes its
 // new model to the running server without a restart or a dropped request.
 // The server shuts down when ctx is cancelled (or via Close). Serving
-// works on an untrained system — requests fail with 503 until the first
-// training completes.
+// works on an untrained system — requests fail with 503 (and /readyz
+// reports unavailable) until the first training completes; /readyz flips
+// to 200 exactly when the first snapshot publishes.
 func Serve(ctx context.Context, sys *System, opts ServeOptions) (*Server, error) {
 	eng := serve.NewEngine(serve.Options{
-		Workers:     opts.Workers,
-		QueueDepth:  opts.QueueDepth,
-		BatchSize:   opts.BatchSize,
-		BatchWindow: opts.BatchWindow,
-		Metrics:     sys.opts.Metrics,
+		Workers:      opts.Workers,
+		QueueDepth:   opts.QueueDepth,
+		BatchSize:    opts.BatchSize,
+		BatchWindow:  opts.BatchWindow,
+		MaxBodyBytes: opts.MaxBodyBytes,
+		Metrics:      sys.opts.Metrics,
 	})
 	sys.attach(eng)
 	timeout := opts.RequestTimeout
@@ -452,6 +468,10 @@ func Serve(ctx context.Context, sys *System, opts ServeOptions) (*Server, error)
 		}
 		return sys.BuildGraph(rs), nil
 	}, timeout)
+	health := obs.NewHealth()
+	health.AddLiveness("serve-workers", eng.LiveCheck())
+	health.AddReadiness("snapshot", eng.ReadyCheck(opts.MaxSnapshotAge))
+	health.Mount(mux)
 	addr := opts.Addr
 	if addr == "" {
 		addr = ":0"
@@ -461,7 +481,7 @@ func Serve(ctx context.Context, sys *System, opts ServeOptions) (*Server, error)
 		eng.Close()
 		return nil, fmt.Errorf("fexiot: serve: %w", err)
 	}
-	srv := &Server{engine: eng, http: hs}
+	srv := &Server{engine: eng, http: hs, health: health}
 	if ctx != nil {
 		context.AfterFunc(ctx, func() { srv.Close() })
 	}

@@ -1,0 +1,100 @@
+package fexiot_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"fexiot"
+)
+
+// getStatus fetches a probe endpoint and returns status code + parsed body.
+func getStatus(t *testing.T, url string) (int, map[string]string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	body := map[string]string{}
+	json.Unmarshal(raw, &body)
+	return resp.StatusCode, body
+}
+
+// TestServeHealthAndReadiness is the readiness acceptance e2e: on an
+// untrained system /healthz is 200 (the process is fine) while /readyz is
+// 503 (no snapshot to serve), and /readyz flips to 200 exactly when the
+// first training publishes a snapshot.
+func TestServeHealthAndReadiness(t *testing.T) {
+	sys, train := smallSystem(t, 17)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, err := fexiot.Serve(ctx, sys, fexiot.ServeOptions{
+		Addr:           "127.0.0.1:0",
+		Workers:        2,
+		RequestTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, _ := getStatus(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("untrained /healthz = %d, want 200 (liveness is not readiness)", code)
+	}
+	code, body := getStatus(t, base+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("untrained /readyz = %d, want 503", code)
+	}
+	if body["check"] != "snapshot" {
+		t.Fatalf("untrained /readyz blamed %q, want the snapshot probe (%v)", body["check"], body)
+	}
+
+	// First training publishes the first snapshot; readiness must flip.
+	sys.TrainCentral(train, 1, 40)
+	if code, body := getStatus(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("trained /readyz = %d (%v), want 200", code, body)
+	}
+	if code, _ := getStatus(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("trained /healthz = %d, want 200", code)
+	}
+}
+
+// TestServeStaleSnapshotUnready: with MaxSnapshotAge set, a snapshot that
+// outlives the bound flips /readyz back to 503 — a server whose
+// republisher died stops advertising itself.
+func TestServeStaleSnapshotUnready(t *testing.T) {
+	sys, train := smallSystem(t, 19)
+	sys.TrainCentral(train, 1, 40)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, err := fexiot.Serve(ctx, sys, fexiot.ServeOptions{
+		Addr:           "127.0.0.1:0",
+		Workers:        1,
+		MaxSnapshotAge: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Republish so the snapshot is fresh relative to the bound, then let it
+	// age past it.
+	sys.TrainCentral(train, 1, 20)
+	if code, body := getStatus(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("fresh /readyz = %d (%v), want 200", code, body)
+	}
+	time.Sleep(1300 * time.Millisecond)
+	code, body := getStatus(t, base+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("stale /readyz = %d (%v), want 503", code, body)
+	}
+}

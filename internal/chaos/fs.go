@@ -1,0 +1,175 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error every armed filesystem fault reports, so tests
+// can tell an injected failure from a real one with errors.Is.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// File is the subset of *os.File the checkpoint writer needs. Keeping the
+// interface this small is what makes disk faults injectable: a FaultFS can
+// fail any single write, sync or rename without reimplementing os.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the filesystem seam behind durable state (fedproto checkpoints).
+// The production implementation is OSFS; FaultFS wraps any FS with
+// scripted failures.
+type FS interface {
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	ReadFile(name string) ([]byte, error)
+	Remove(name string) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// CreateTemp delegates to os.CreateTemp.
+func (OSFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename delegates to os.Rename.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// ReadFile delegates to os.ReadFile.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Remove delegates to os.Remove.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// FaultFS wraps an FS with scripted disk faults: the next N writes, syncs
+// or renames fail with ErrInjected, then the disk "heals" and subsequent
+// operations pass through. Arming methods may be called mid-flight; all
+// methods are safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu          sync.Mutex
+	failWrites  int
+	failSyncs   int
+	failRenames int
+	writes      int
+	syncs       int
+	renames     int
+}
+
+// NewFaultFS wraps inner (nil selects the real filesystem) with no faults
+// armed.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OSFS{}
+	}
+	return &FaultFS{inner: inner}
+}
+
+// FailWrites arms the next n Write calls to fail with ErrInjected.
+func (f *FaultFS) FailWrites(n int) {
+	f.mu.Lock()
+	f.failWrites = n
+	f.mu.Unlock()
+}
+
+// FailSyncs arms the next n Sync calls to fail with ErrInjected.
+func (f *FaultFS) FailSyncs(n int) {
+	f.mu.Lock()
+	f.failSyncs = n
+	f.mu.Unlock()
+}
+
+// FailRenames arms the next n Rename calls to fail with ErrInjected.
+func (f *FaultFS) FailRenames(n int) {
+	f.mu.Lock()
+	f.failRenames = n
+	f.mu.Unlock()
+}
+
+// Writes reports how many Write calls reached the fault layer.
+func (f *FaultFS) Writes() int { f.mu.Lock(); defer f.mu.Unlock(); return f.writes }
+
+// Renames reports how many Rename calls reached the fault layer.
+func (f *FaultFS) Renames() int { f.mu.Lock(); defer f.mu.Unlock(); return f.renames }
+
+// CreateTemp delegates to the inner FS, wrapping the file so its writes
+// and syncs consult the fault budget.
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// Rename fails while the rename budget is armed, then delegates.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	f.renames++
+	inject := f.failRenames > 0
+	if inject {
+		f.failRenames--
+	}
+	f.mu.Unlock()
+	if inject {
+		return ErrInjected
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// ReadFile delegates to the inner FS (reads are never faulted — corrupt
+// reads are modelled by corrupting the file itself).
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+// Remove delegates to the inner FS.
+func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+// faultFile consults the owning FaultFS budget on every write and sync.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	w.fs.writes++
+	inject := w.fs.failWrites > 0
+	if inject {
+		w.fs.failWrites--
+	}
+	w.fs.mu.Unlock()
+	if inject {
+		return 0, ErrInjected
+	}
+	return w.inner.Write(p)
+}
+
+func (w *faultFile) Sync() error {
+	w.fs.mu.Lock()
+	w.fs.syncs++
+	inject := w.fs.failSyncs > 0
+	if inject {
+		w.fs.failSyncs--
+	}
+	w.fs.mu.Unlock()
+	if inject {
+		return ErrInjected
+	}
+	return w.inner.Sync()
+}
+
+func (w *faultFile) Close() error { return w.inner.Close() }
+
+func (w *faultFile) Name() string { return w.inner.Name() }

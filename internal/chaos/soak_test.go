@@ -1,0 +1,286 @@
+package chaos_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"fexiot"
+	"fexiot/internal/autodiff"
+	"fexiot/internal/chaos"
+	"fexiot/internal/fedproto"
+	"fexiot/internal/mat"
+	"fexiot/internal/obs"
+	"fexiot/internal/supervise"
+)
+
+// The scripted-federation helpers mirror fedproto's in-package test kit:
+// a deterministic two-layer model whose FedAvg rounds have a closed form.
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func scriptParams() *autodiff.ParamSet {
+	p := autodiff.NewParamSet()
+	p.Register("l0.w", 0, mat.NewDenseData(1, 2, []float64{1, 2}))
+	p.Register("l1.w", 1, mat.NewDenseData(1, 2, []float64{3, 4}))
+	return p
+}
+
+func addDelta(p *autodiff.ParamSet, d float64) {
+	for _, name := range p.Names() {
+		m := p.Get(name)
+		for i := range m.Data() {
+			m.Data()[i] += d
+		}
+	}
+}
+
+func zeroNorms(p *autodiff.ParamSet) map[int]float64 {
+	out := map[int]float64{}
+	for l := 0; l < p.NumLayers(); l++ {
+		out[l] = 0
+	}
+	return out
+}
+
+// TestSoakFederationSurvivesScheduledChaos is the cross-layer soak e2e: a
+// seeded chaos plan kills one client's link mid-federation, hard-stops the
+// checkpointing server after a few rounds, bit-flips the latest snapshot
+// on disk, and restarts the server — while, on the serving side, a
+// supervised republisher takes a scheduled panic. The run must end with
+// the federation complete, all clients on identical models, the
+// republisher restarted at least once, and /healthz + /readyz live.
+func TestSoakFederationSurvivesScheduledChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped in -short")
+	}
+	const (
+		nClients = 3
+		rounds   = 5
+		seed     = 1234
+	)
+	plan := chaos.NewPlan(seed)
+	// Seeded schedule: which client loses its link, and after which round
+	// the server is killed. Drawn from the plan so a failing run replays
+	// from the seed alone.
+	victim := plan.Intn(nClients)
+	killAfterRound := 2 + plan.Intn(2) // 2 or 3 closed rounds
+
+	ckpt := filepath.Join(t.TempDir(), "soak.ckpt")
+	addr := freeAddr(t)
+	cfg := fedproto.ServerConfig{
+		Addr: addr, Clients: nClients, Rounds: rounds, NumLayers: 2,
+		Quorum: 0.5, RoundTimeout: 3 * time.Second,
+		Eps1: 0.4, Eps2: 0.95,
+		CheckpointPath: ckpt, CheckpointEvery: 1,
+	}
+
+	// --- serving side: a trained system with a supervised republisher that
+	// panics once on a scheduled call and must be restarted.
+	sysOpts := fexiot.DefaultOptions()
+	sysOpts.Seed, sysOpts.WordDim, sysOpts.SentenceDim = seed, 24, 32
+	sysOpts.Hidden, sysOpts.EmbedDim = 12, 8
+	sysOpts.Metrics = obs.NewRegistry()
+	sys, err := fexiot.New(sysOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train []*fexiot.Graph
+	for home := 0; home < 3; home++ {
+		deployed := fexiot.GenerateHome(fexiot.ArchetypeNames()[home%2], 14, seed+int64(home))
+		train = append(train, sys.BuildGraph(deployed))
+	}
+	sys.TrainCentral(train, 1, 30)
+
+	sctx, scancel := context.WithCancel(context.Background())
+	defer scancel()
+	srv, err := fexiot.Serve(sctx, sys, fexiot.ServeOptions{Addr: "127.0.0.1:0", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	crash := chaos.PanicOnCall(2, "republisher sabotage")
+	sup := supervise.New(supervise.Options{
+		Policy: supervise.Policy{Backoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond, Seed: seed},
+	})
+	srv.Health().AddLiveness("republisher", sup.Check)
+	republished := make(chan struct{}, 16)
+	sup.Go(sctx, "republisher", func(ctx context.Context) error {
+		t := time.NewTicker(40 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-t.C:
+				crash() // scheduled panic on the 2nd tick, once
+				sys.TrainCentral(train, 1, 10)
+				select {
+				case republished <- struct{}{}:
+				default:
+				}
+			}
+		}
+	})
+
+	// --- federation side.
+	srv1 := fedproto.NewServer(cfg)
+	done1 := make(chan error, 1)
+	go func() { _, err := srv1.Run(context.Background()); done1 <- err }()
+
+	params := make([]*autodiff.ParamSet, nClients)
+	errs := make([]error, nClients)
+	var conns sync.Map // victim's live fault conns
+	var wg sync.WaitGroup
+	for id := 0; id < nClients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := scriptParams()
+			params[id] = p
+			ccfg := fedproto.ClientConfig{
+				Addr: addr, ID: id, DataSize: 10,
+				InitialBackoff: 20 * time.Millisecond,
+				MaxBackoff:     100 * time.Millisecond,
+				MaxAttempts:    300,
+				OpTimeout:      3 * time.Second,
+				Seed:           int64(id),
+			}
+			if id == victim {
+				ccfg.Dial = func(a string) (net.Conn, error) {
+					raw, err := net.Dial("tcp", a)
+					if err != nil {
+						return nil, err
+					}
+					fc := chaos.NewConn(raw)
+					conns.Store(fc, struct{}{})
+					return fc, nil
+				}
+			}
+			_, errs[id] = fedproto.RunClientSession(context.Background(), ccfg, p,
+				func(round int) map[int]float64 {
+					time.Sleep(15 * time.Millisecond)
+					addDelta(p, float64(id+1)*0.1)
+					return zeroNorms(p)
+				})
+		}(id)
+	}
+
+	waitRounds := func(s *fedproto.Server, n int) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for s.Stats().RoundsCompleted < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("federation never reached round %d", n)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Chaos event 1: yank the victim's link mid-federation; the session
+	// layer must reconnect and resync.
+	waitRounds(srv1, 1)
+	conns.Range(func(k, _ any) bool {
+		k.(*chaos.Conn).Kill()
+		return true
+	})
+
+	// Chaos event 2: hard-kill the server after the scheduled round count.
+	waitRounds(srv1, killAfterRound)
+	srv1.Stop()
+	select {
+	case <-done1:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stopped server did not return")
+	}
+
+	// Chaos event 3: corrupt the latest checkpoint. The restart must roll
+	// back to .prev and still finish the federation.
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(ckpt, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := fedproto.NewServer(cfg)
+	done2 := make(chan error, 1)
+	go func() { _, err := srv2.Run(context.Background()); done2 <- err }()
+
+	wg.Wait()
+	select {
+	case err := <-done2:
+		if err != nil {
+			t.Fatalf("resumed server: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("resumed server never finished")
+	}
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d session: %v", id, err)
+		}
+	}
+
+	// Every client converged to the same model despite the kill, crash and
+	// corruption.
+	ref := params[0].Flatten()
+	for id := 1; id < nClients; id++ {
+		got := params[id].Flatten()
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("client %d diverged at element %d: %v vs %v", id, i, got[i], ref[i])
+			}
+		}
+	}
+
+	// The republisher took its scheduled panic, was restarted, and kept
+	// publishing afterwards.
+	select {
+	case <-republished:
+	case <-time.After(10 * time.Second):
+		t.Fatal("republisher never published after its scheduled panic")
+	}
+	if got := sup.Restarts("republisher"); got < 1 {
+		t.Fatalf("republisher restarts = %d, want ≥ 1", got)
+	}
+
+	// The serving plane is still alive and ready.
+	base := "http://" + srv.Addr()
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + probe)
+		if err != nil {
+			t.Fatalf("%s: %v", probe, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d (%s), want 200 after the soak", probe, resp.StatusCode, body)
+		}
+		var parsed map[string]string
+		if err := json.Unmarshal(body, &parsed); err != nil || parsed["status"] != "ok" {
+			t.Fatalf("%s body = %s", probe, body)
+		}
+	}
+	scancel()
+	sup.Wait()
+}

@@ -2,124 +2,15 @@ package fedproto
 
 import (
 	"net"
-	"sync"
-	"time"
+
+	"fexiot/internal/chaos"
 )
 
-// FaultConn wraps a net.Conn with scriptable fault injection for the
-// chaos tests and the chaos experiment. Three failure modes, composable
-// and switchable mid-stream:
-//
-//   - SetDelay(d): every Read and Write sleeps d first — a slow link that
-//     pushes a client past the server's round deadline.
-//   - DropAfter(n): after n more written bytes, writes are silently
-//     swallowed (reported as successful, never sent) — a half-open
-//     connection the peer can only detect by deadline.
-//   - Kill(): hard-closes the underlying socket mid-stream — a crashed
-//     client or yanked cable; the peer sees EOF/reset.
-//
-// The zero state injects nothing and passes all traffic through.
-type FaultConn struct {
-	inner net.Conn
-
-	mu        sync.Mutex
-	delay     time.Duration
-	dropAfter int64 // remaining write budget; -1 = unlimited
-	killed    bool
-}
+// FaultConn is the historical name of the link fault injector, now
+// generalised into the unified chaos package as chaos.Conn (delay,
+// blackhole, mid-stream kill). The alias keeps existing chaos tests and
+// the chaos experiment compiling unchanged.
+type FaultConn = chaos.Conn
 
 // NewFaultConn wraps an established connection with no faults armed.
-func NewFaultConn(c net.Conn) *FaultConn {
-	return &FaultConn{inner: c, dropAfter: -1}
-}
-
-// SetDelay makes every subsequent Read and Write sleep d before touching
-// the socket (zero disables).
-func (f *FaultConn) SetDelay(d time.Duration) {
-	f.mu.Lock()
-	f.delay = d
-	f.mu.Unlock()
-}
-
-// DropAfter lets n more bytes through and then silently swallows every
-// write; n = 0 blackholes immediately. A negative n disarms the fault.
-func (f *FaultConn) DropAfter(n int64) {
-	f.mu.Lock()
-	f.dropAfter = n
-	f.mu.Unlock()
-}
-
-// Kill hard-closes the underlying socket, dropping any in-flight message
-// mid-stream.
-func (f *FaultConn) Kill() error {
-	f.mu.Lock()
-	f.killed = true
-	f.mu.Unlock()
-	return f.inner.Close()
-}
-
-// Killed reports whether Kill was called.
-func (f *FaultConn) Killed() bool {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.killed
-}
-
-func (f *FaultConn) sleep() {
-	f.mu.Lock()
-	d := f.delay
-	f.mu.Unlock()
-	if d > 0 {
-		time.Sleep(d)
-	}
-}
-
-// Read delays, then passes through.
-func (f *FaultConn) Read(p []byte) (int, error) {
-	f.sleep()
-	return f.inner.Read(p)
-}
-
-// Write delays, forwards at most the remaining write budget, and reports
-// the full length as written so the sender keeps believing the link is
-// healthy.
-func (f *FaultConn) Write(p []byte) (int, error) {
-	f.sleep()
-	f.mu.Lock()
-	budget := f.dropAfter
-	f.mu.Unlock()
-	allowed := len(p)
-	if budget >= 0 && int64(allowed) > budget {
-		allowed = int(budget)
-	}
-	if allowed > 0 {
-		n, err := f.inner.Write(p[:allowed])
-		f.mu.Lock()
-		if f.dropAfter >= 0 {
-			f.dropAfter -= int64(n)
-		}
-		f.mu.Unlock()
-		if err != nil {
-			return n, err
-		}
-	}
-	return len(p), nil
-}
-
-// Close closes the underlying socket.
-func (f *FaultConn) Close() error { return f.inner.Close() }
-
-// LocalAddr reports the underlying local address.
-func (f *FaultConn) LocalAddr() net.Addr { return f.inner.LocalAddr() }
-
-// RemoteAddr reports the underlying remote address.
-func (f *FaultConn) RemoteAddr() net.Addr { return f.inner.RemoteAddr() }
-
-// SetDeadline delegates to the underlying socket.
-func (f *FaultConn) SetDeadline(t time.Time) error { return f.inner.SetDeadline(t) }
-
-// SetReadDeadline delegates to the underlying socket.
-func (f *FaultConn) SetReadDeadline(t time.Time) error { return f.inner.SetReadDeadline(t) }
-
-// SetWriteDeadline delegates to the underlying socket.
-func (f *FaultConn) SetWriteDeadline(t time.Time) error { return f.inner.SetWriteDeadline(t) }
+func NewFaultConn(c net.Conn) *FaultConn { return chaos.NewConn(c) }

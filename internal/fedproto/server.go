@@ -8,12 +8,14 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fexiot/internal/fed"
 	"fexiot/internal/fedproto/codec"
 	"fexiot/internal/mat"
 	"fexiot/internal/obs"
+	"fexiot/internal/supervise"
 )
 
 // DefaultRoundTimeout bounds each per-client read and write when
@@ -238,6 +240,12 @@ type ServerStats struct {
 type Server struct {
 	cfg     ServerConfig
 	metrics serverMetrics
+	// sup restarts the accept loop on transient Accept errors; its tripped
+	// circuit surfaces through Healthy (and from there /healthz).
+	sup *supervise.Supervisor
+	// listening is true between Listen succeeding and Run returning — the
+	// readiness signal behind Ready (/readyz).
+	listening atomic.Bool
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -265,7 +273,41 @@ type Server struct {
 func NewServer(cfg ServerConfig) *Server {
 	s := &Server{cfg: cfg, metrics: newServerMetrics(cfg.Metrics, cfg.Aggregator)}
 	s.cond = sync.NewCond(&s.mu)
+	s.sup = supervise.New(supervise.Options{
+		Policy:  supervise.Policy{MaxRestarts: 5, Backoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second, Seed: 7},
+		Metrics: cfg.Metrics,
+		// A tripped accept circuit must fail the federation the way a fatal
+		// Accept error always has: park the error where Run's wait loop and
+		// Healthy look.
+		OnTrip: func(_ string, cause error) {
+			s.mu.Lock()
+			s.acceptErr = cause
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		},
+	})
 	return s
+}
+
+// Healthy reports the server's liveness: nil while the supervised accept
+// loop is within its restart budget, the tripped circuit's cause once
+// admissions have permanently failed. Wire it to /healthz.
+func (s *Server) Healthy() error {
+	if err := s.sup.Check(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acceptErr
+}
+
+// Ready reports whether the server is accepting connections — true between
+// the listener coming up and Run returning. Wire it to /readyz.
+func (s *Server) Ready() error {
+	if !s.listening.Load() {
+		return errors.New("fedproto: not listening")
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the run's fault-tolerance counters.
@@ -299,6 +341,8 @@ func (s *Server) Run(ctx context.Context) (int64, error) {
 		return 0, err
 	}
 	defer ln.Close()
+	s.listening.Store(true)
+	defer s.listening.Store(false)
 	// Every return path releases every accepted socket: failed rounds must
 	// not leak fds.
 	defer s.closeAll()
@@ -306,7 +350,13 @@ func (s *Server) Run(ctx context.Context) (int64, error) {
 	stop := context.AfterFunc(ctx, s.Stop)
 	defer stop()
 
-	go s.acceptLoop(ln)
+	// The accept loop runs supervised: a transient Accept error (fd
+	// pressure, a scribbling middlebox) restarts it with backoff instead of
+	// bricking admissions for the rest of the federation; only a persistent
+	// failure trips the circuit and fails Run.
+	s.sup.Go(ctx, "fedproto-accept", func(context.Context) error {
+		return s.acceptPass(ln)
+	})
 
 	s.mu.Lock()
 	for s.aliveCount() < s.cfg.Clients && s.acceptErr == nil && !s.closed {
@@ -341,11 +391,21 @@ func (s *Server) Run(ctx context.Context) (int64, error) {
 	return s.totalBytes(), nil
 }
 
+// ckptRetry writes the checkpoint under a bounded retry: a flaky disk gets
+// a few backed-off attempts (and a panicking write is converted to an
+// error) before the failure propagates to the round.
+func (s *Server) ckptRetry(nextRound int) error {
+	return supervise.Retry(context.Background(),
+		supervise.Policy{MaxRestarts: 3, Backoff: 5 * time.Millisecond,
+			MaxBackoff: 50 * time.Millisecond, Seed: int64(nextRound)},
+		func() error { return s.saveCheckpoint(nextRound) })
+}
+
 // cancelled flushes the shutdown checkpoint (rounds [0, nextRound) have
 // closed) and builds Run's cancellation error.
 func (s *Server) cancelled(ctx context.Context, nextRound int) error {
 	if s.cfg.CheckpointPath != "" {
-		if err := s.saveCheckpoint(nextRound); err != nil {
+		if err := s.ckptRetry(nextRound); err != nil {
 			return fmt.Errorf("fedproto: shutdown checkpoint: %w (after %w)",
 				err, context.Cause(ctx))
 		}
@@ -372,20 +432,36 @@ func (s *Server) Stop() {
 	s.cond.Broadcast()
 }
 
-// acceptLoop admits clients for the lifetime of the listener, including
-// late joiners and rejoining evictees.
-func (s *Server) acceptLoop(ln net.Listener) {
+// acceptPass admits clients for the lifetime of the listener, including
+// late joiners and rejoining evictees. It returns nil on orderly shutdown
+// (listener closed by Stop/closeAll) and the Accept error otherwise, which
+// the supervisor answers with a backed-off restart. A panic in one
+// admission handshake closes that socket without taking the loop down.
+func (s *Server) acceptPass(ln net.Listener) error {
 	for {
 		raw, err := ln.Accept()
 		if err != nil {
-			s.mu.Lock()
-			s.acceptErr = err
-			s.cond.Broadcast()
-			s.mu.Unlock()
-			return
+			if errors.Is(err, net.ErrClosed) || s.isClosed() {
+				return nil
+			}
+			return err
 		}
-		go s.admit(raw)
+		go func() {
+			if perr := supervise.Run(context.Background(), func(context.Context) error {
+				s.admit(raw)
+				return nil
+			}); perr != nil {
+				raw.Close()
+			}
+		}()
 	}
+}
+
+// isClosed reports whether Stop or closeAll has run.
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // admit completes the hello handshake on one accepted socket, registers
@@ -650,7 +726,7 @@ func (s *Server) runRound(round int) error {
 	// this is the state a restarted server must resume from.
 	if s.cfg.CheckpointPath != "" && (round+1)%s.checkpointEvery() == 0 {
 		csp := obs.StartSpan(s.metrics.ckptDur)
-		err := s.saveCheckpoint(round + 1)
+		err := s.ckptRetry(round + 1)
 		csp.End()
 		if err != nil {
 			return fmt.Errorf("fedproto: round %d checkpoint: %w", round, err)

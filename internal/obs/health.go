@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+)
+
+// healthCheck is one named probe; nil error means healthy.
+type healthCheck struct {
+	name string
+	fn   func() error
+}
+
+// Health aggregates liveness and readiness probes and serves them on
+// /healthz and /readyz. Liveness answers "is the process worth keeping"
+// (a tripped supervisor circuit fails it); readiness answers "should this
+// instance receive traffic" (no published snapshot, a stale snapshot or a
+// down listener fails it). Readiness implies liveness: every liveness
+// probe is also consulted by /readyz, so an unhealthy process is never
+// advertised as ready. All methods are safe for concurrent use; a nil
+// *Health accepts registrations and probes as no-ops, reporting healthy.
+type Health struct {
+	mu    sync.Mutex
+	live  []healthCheck
+	ready []healthCheck
+}
+
+// NewHealth creates an empty probe set: live and ready until checks say
+// otherwise.
+func NewHealth() *Health { return &Health{} }
+
+// AddLiveness registers a probe consulted by /healthz (and /readyz).
+func (h *Health) AddLiveness(name string, fn func() error) {
+	if h == nil || fn == nil {
+		return
+	}
+	h.mu.Lock()
+	h.live = append(h.live, healthCheck{name, fn})
+	h.mu.Unlock()
+}
+
+// AddReadiness registers a probe consulted by /readyz only.
+func (h *Health) AddReadiness(name string, fn func() error) {
+	if h == nil || fn == nil {
+		return
+	}
+	h.mu.Lock()
+	h.ready = append(h.ready, healthCheck{name, fn})
+	h.mu.Unlock()
+}
+
+// LiveErr runs the liveness probes and returns the first failure.
+func (h *Health) LiveErr() error {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	checks := append([]healthCheck(nil), h.live...)
+	h.mu.Unlock()
+	return firstFailure(checks)
+}
+
+// ReadyErr runs the liveness and readiness probes and returns the first
+// failure.
+func (h *Health) ReadyErr() error {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	checks := append([]healthCheck(nil), h.live...)
+	checks = append(checks, h.ready...)
+	h.mu.Unlock()
+	return firstFailure(checks)
+}
+
+func firstFailure(checks []healthCheck) error {
+	for _, c := range checks {
+		if err := c.fn(); err != nil {
+			return &checkError{name: c.name, err: err}
+		}
+	}
+	return nil
+}
+
+// checkError names the probe that failed.
+type checkError struct {
+	name string
+	err  error
+}
+
+func (e *checkError) Error() string { return e.name + ": " + e.err.Error() }
+func (e *checkError) Unwrap() error { return e.err }
+
+// Mount registers /healthz and /readyz on mux (typically the
+// obs.NewHandler mux, so the probes ride next to /metrics). 200 with a
+// JSON ok body when every probe passes, 503 naming the failing probe
+// otherwise.
+func (h *Health) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeProbe(w, h.LiveErr())
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		writeProbe(w, h.ReadyErr())
+	})
+}
+
+func writeProbe(w http.ResponseWriter, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err == nil {
+		w.WriteHeader(http.StatusOK)
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+		return
+	}
+	body := map[string]string{"status": "unavailable", "error": err.Error()}
+	var ce *checkError
+	if errors.As(err, &ce) {
+		body["check"] = ce.name
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(body)
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"fexiot/internal/graph"
 	"fexiot/internal/mat"
 	"fexiot/internal/obs"
+	"fexiot/internal/supervise"
 )
 
 // ErrNotReady reports a request against an engine with no published
@@ -19,6 +21,17 @@ var ErrNotReady = errors.New("serve: no model snapshot published yet")
 // ErrClosed reports a request against a closed engine.
 var ErrClosed = errors.New("serve: engine closed")
 
+// ErrOverloaded reports a request shed because the pending-request queue
+// was full: the engine fails fast so callers can back off and retry,
+// instead of parking the request until its deadline expires. HTTP maps it
+// to 429 with a Retry-After hint.
+var ErrOverloaded = errors.New("serve: overloaded, queue full")
+
+// ErrPanicked reports a request whose inference panicked. The worker is
+// recovered and restarted under supervision; only this request fails. HTTP
+// maps it to 500.
+var ErrPanicked = errors.New("serve: inference panicked")
+
 // Options tunes the engine. The zero value is usable: worker count follows
 // mat.Parallelism (the dense-kernel sizing discipline), the queue holds
 // 4× workers, batching is off.
@@ -26,9 +39,10 @@ type Options struct {
 	// Workers bounds the concurrent inference goroutines (0 = the current
 	// mat.Parallelism setting).
 	Workers int
-	// QueueDepth bounds the pending-request queue (0 = 4 × Workers).
-	// Callers block — honouring their context deadline — when it is full,
-	// so overload degrades into latency rather than dropped work.
+	// QueueDepth bounds the pending-request queue (0 = 4 × Workers). A
+	// request arriving at a full queue is shed immediately with
+	// ErrOverloaded — overload degrades into fast, explicit rejections the
+	// caller can back off from, never into silent queueing until timeout.
 	QueueDepth int
 	// BatchSize > 1 enables micro-batching: a worker that dequeues a
 	// detect request drains up to BatchSize−1 more same-shape (equal node
@@ -38,8 +52,15 @@ type Options struct {
 	// BatchWindow is how long a worker waits to fill a batch (0 = 2ms,
 	// only meaningful when BatchSize > 1).
 	BatchWindow time.Duration
+	// MaxBodyBytes bounds HTTP request bodies on the mounted endpoints
+	// (0 = 1 MiB); oversized bodies are rejected with 413.
+	MaxBodyBytes int64
 	// Metrics, when non-nil, receives the fexiot_serve_* telemetry.
 	Metrics *obs.Registry
+	// FaultHook, when non-nil, is invoked inside the panic-recovered
+	// inference region once per worker pass — the chaos-injection seam the
+	// resilience tests use to schedule panics and stalls in workers.
+	FaultHook func(op string)
 }
 
 func (o Options) workers() int {
@@ -61,6 +82,13 @@ func (o Options) batchWindow() time.Duration {
 		return o.BatchWindow
 	}
 	return 2 * time.Millisecond
+}
+
+func (o Options) maxBodyBytes() int64 {
+	if o.MaxBodyBytes > 0 {
+		return o.MaxBodyBytes
+	}
+	return 1 << 20
 }
 
 type reqKind int
@@ -88,18 +116,25 @@ type response struct {
 
 // Engine serves Detect/Explain requests from a bounded worker pool against
 // the current snapshot. All methods are safe for concurrent use.
+//
+// The pool is supervised: a panic during inference answers that one
+// request with ErrPanicked and restarts the worker with backoff; a worker
+// crash-looping past its restart budget trips a circuit that LiveCheck —
+// and from there /healthz — reports.
 type Engine struct {
-	snap atomic.Pointer[Snapshot]
-	reqs chan *request
-	stop chan struct{}
-	wg   sync.WaitGroup
-	once sync.Once
-	opts Options
-	m    metrics
+	snap   atomic.Pointer[Snapshot]
+	reqs   chan *request
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+	opts   Options
+	m      metrics
+	sup    *supervise.Supervisor
+	cancel context.CancelFunc
 }
 
-// NewEngine starts the worker pool (and the snapshot-age ticker when
-// metrics are enabled). The engine serves ErrNotReady until the first
+// NewEngine starts the supervised worker pool (and the snapshot-age ticker
+// when metrics are enabled). The engine serves ErrNotReady until the first
 // Publish.
 func NewEngine(opts Options) *Engine {
 	e := &Engine{
@@ -108,9 +143,14 @@ func NewEngine(opts Options) *Engine {
 		opts: opts,
 		m:    newMetrics(opts.Metrics),
 	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e.cancel = cancel
+	e.sup = supervise.New(supervise.Options{
+		Policy:  supervise.Policy{Backoff: 2 * time.Millisecond, MaxBackoff: 250 * time.Millisecond},
+		Metrics: opts.Metrics,
+	})
 	for i := 0; i < opts.workers(); i++ {
-		e.wg.Add(1)
-		go e.worker()
+		e.sup.Go(ctx, "serve-worker", e.workerLoop)
 	}
 	if opts.Metrics != nil {
 		e.wg.Add(1)
@@ -136,9 +176,44 @@ func (e *Engine) Publish(s *Snapshot) {
 // callers that want several reads from one consistent model pin it once.
 func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 
+// LiveCheck returns the engine's liveness probe: nil while the worker pool
+// is within its restart budget, the tripped circuit's cause once a worker
+// has crash-looped to death. Wire it to /healthz.
+func (e *Engine) LiveCheck() func() error { return e.sup.Check }
+
+// ReadyCheck returns the engine's readiness probe: nil once a snapshot has
+// been published and — when maxAge > 0 — is no older than maxAge, so a
+// server whose republisher died eventually stops advertising itself. Wire
+// it to /readyz.
+func (e *Engine) ReadyCheck(maxAge time.Duration) func() error {
+	return func() error {
+		select {
+		case <-e.stop:
+			return ErrClosed
+		default:
+		}
+		s := e.snap.Load()
+		if s == nil {
+			return ErrNotReady
+		}
+		if maxAge > 0 {
+			if age := time.Since(s.Created()); age > maxAge {
+				return fmt.Errorf("serve: snapshot stale: age %s exceeds %s",
+					age.Round(time.Millisecond), maxAge)
+			}
+		}
+		return nil
+	}
+}
+
+// WorkerRestarts reports how many times the supervisor has restarted a
+// panicked worker.
+func (e *Engine) WorkerRestarts() int64 { return e.sup.Restarts("serve-worker") }
+
 // Detect classifies g on the worker pool. It blocks until a worker
 // answers, ctx expires, or the engine closes; the returned sequence number
-// identifies the snapshot that served the request.
+// identifies the snapshot that served the request. A full queue sheds the
+// request immediately with ErrOverloaded.
 func (e *Engine) Detect(ctx context.Context, g *graph.Graph) (Verdict, uint64, error) {
 	resp := e.submit(ctx, &request{kind: reqDetect, g: g, ctx: ctx})
 	return resp.verdict, resp.seq, resp.err
@@ -159,10 +234,18 @@ func (e *Engine) submit(ctx context.Context, r *request) response {
 	select {
 	case e.reqs <- r:
 		e.m.queueDepth.Set(float64(len(e.reqs)))
-	case <-ctx.Done():
-		return response{err: ctx.Err()}
 	case <-e.stop:
 		return response{err: ErrClosed}
+	default:
+		// Saturated queue: shed now, while the caller can still usefully
+		// back off, instead of parking the request until its deadline.
+		select {
+		case <-e.stop:
+			return response{err: ErrClosed}
+		default:
+		}
+		e.m.shed.Inc()
+		return response{err: ErrOverloaded}
 	}
 	select {
 	case resp := <-r.done:
@@ -178,18 +261,27 @@ func (e *Engine) submit(ctx context.Context, r *request) response {
 // idempotent and waits for the pool to drain.
 func (e *Engine) Close() {
 	e.once.Do(func() { close(e.stop) })
+	e.cancel()
+	e.sup.Wait()
 	e.wg.Wait()
 }
 
-func (e *Engine) worker() {
-	defer e.wg.Done()
+// workerLoop is one supervised pool member. It returns nil on shutdown; a
+// panic during inference surfaces here as an error, handing the goroutine
+// back to the supervisor for a backed-off restart (the panicked request
+// itself was already answered with ErrPanicked).
+func (e *Engine) workerLoop(ctx context.Context) error {
 	for {
 		select {
 		case <-e.stop:
-			return
+			return nil
+		case <-ctx.Done():
+			return nil
 		case r := <-e.reqs:
 			e.m.queueDepth.Set(float64(len(e.reqs)))
-			e.process(r)
+			if err := e.process(r); err != nil {
+				return err
+			}
 		}
 	}
 }
@@ -197,35 +289,70 @@ func (e *Engine) worker() {
 // process answers one dequeued request, micro-batching same-shape detect
 // requests when enabled. The snapshot is loaded exactly once per batch, so
 // every request in it — and each individual request — is answered by a
-// single consistent model even if Publish lands mid-flight.
-func (e *Engine) process(r *request) {
+// single consistent model even if Publish lands mid-flight. The returned
+// error is non-nil only when inference panicked (the request was still
+// answered); it propagates to the supervisor.
+func (e *Engine) process(r *request) error {
 	if r.ctx != nil && r.ctx.Err() != nil {
 		r.done <- response{err: r.ctx.Err()}
-		return
+		return nil
 	}
 	if r.kind == reqDetect && e.opts.BatchSize > 1 {
-		e.processBatch(r)
-		return
+		return e.processBatch(r)
 	}
 	snap := e.snap.Load()
 	if snap == nil {
 		r.done <- response{err: ErrNotReady}
-		return
+		return nil
+	}
+	resp, err := e.answer(snap, r)
+	r.done <- resp
+	return err
+}
+
+// answer runs one request's inference inside the panic-recovery guard: a
+// panic becomes an ErrPanicked response for the caller plus a non-nil
+// error for the supervisor, never an unwound process.
+func (e *Engine) answer(snap *Snapshot, r *request) (resp response, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			e.m.panics.Inc()
+			err = fmt.Errorf("%w: %v", ErrPanicked, v)
+			resp = response{err: err}
+		}
+	}()
+	if h := e.opts.FaultHook; h != nil {
+		h("infer")
 	}
 	switch r.kind {
-	case reqDetect:
-		r.done <- response{verdict: snap.Detect(r.g), seq: snap.Seq()}
 	case reqExplain:
-		r.done <- response{expl: snap.Explain(r.g), seq: snap.Seq()}
+		return response{expl: snap.Explain(r.g), seq: snap.Seq()}, nil
+	default:
+		return response{verdict: snap.Detect(r.g), seq: snap.Seq()}, nil
 	}
+}
+
+// detectBatch runs one batched forward pass inside the panic-recovery
+// guard.
+func (e *Engine) detectBatch(snap *Snapshot, gs []*graph.Graph) (vs []Verdict, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			e.m.panics.Inc()
+			err = fmt.Errorf("%w: %v", ErrPanicked, v)
+		}
+	}()
+	if h := e.opts.FaultHook; h != nil {
+		h("infer")
+	}
+	return snap.DetectBatch(gs), nil
 }
 
 // processBatch drains up to BatchSize−1 further detect requests with the
 // same node count arriving within BatchWindow, then answers the whole
 // batch with one DetectBatch pass. Requests that do not fit the batch
 // (explain, different shape) are answered individually afterwards by the
-// same worker.
-func (e *Engine) processBatch(first *request) {
+// same worker. Every held request is answered even when a pass panics.
+func (e *Engine) processBatch(first *request) error {
 	batch := []*request{first}
 	var leftover []*request
 	shape := first.g.N()
@@ -251,10 +378,11 @@ fill:
 			for _, r := range append(batch, leftover...) {
 				r.done <- response{err: ErrClosed}
 			}
-			return
+			return nil
 		}
 	}
 	e.m.batchSize.Observe(float64(len(batch)))
+	var failErr error
 	snap := e.snap.Load()
 	if snap == nil {
 		for _, r := range batch {
@@ -265,14 +393,24 @@ fill:
 		for i, r := range batch {
 			gs[i] = r.g
 		}
-		verdicts := snap.DetectBatch(gs)
-		for i, r := range batch {
-			r.done <- response{verdict: verdicts[i], seq: snap.Seq()}
+		verdicts, err := e.detectBatch(snap, gs)
+		if err != nil {
+			failErr = err
+			for _, r := range batch {
+				r.done <- response{err: err}
+			}
+		} else {
+			for i, r := range batch {
+				r.done <- response{verdict: verdicts[i], seq: snap.Seq()}
+			}
 		}
 	}
 	for _, r := range leftover {
-		e.process(r)
+		if err := e.process(r); err != nil && failErr == nil {
+			failErr = err
+		}
 	}
+	return failErr
 }
 
 // ageTicker keeps the snapshot-age gauge current between publishes.

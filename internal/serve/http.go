@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"time"
 
@@ -64,14 +65,30 @@ func (e *Engine) Mount(mux *http.ServeMux, build GraphBuilder, timeout time.Dura
 
 func (e *Engine) handle(w http.ResponseWriter, req *http.Request,
 	build GraphBuilder, timeout time.Duration, kind reqKind) {
+	// A panicking handler (hostile payload tripping a parser edge) must
+	// cost one 500, never the process.
+	defer func() {
+		if v := recover(); v != nil {
+			e.m.panics.Inc()
+			writeJSON(w, http.StatusInternalServerError,
+				errorResponse{fmt.Sprintf("%v: %v", ErrPanicked, v)})
+		}
+	}()
 	if req.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeJSON(w, http.StatusMethodNotAllowed,
 			errorResponse{"POST a JSON body with rules (and optional events)"})
 		return
 	}
+	req.Body = http.MaxBytesReader(w, req.Body, e.opts.maxBodyBytes())
 	var in DetectRequest
 	if err := json.NewDecoder(req.Body).Decode(&in); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{"bad JSON: " + err.Error()})
 		return
 	}
@@ -127,10 +144,14 @@ func (e *Engine) handle(w http.ResponseWriter, req *http.Request,
 	}
 }
 
-// writeServeError maps engine errors onto HTTP statuses: not-ready and
-// closed are 503 (retryable elsewhere), deadline expiry is 504.
+// writeServeError maps engine errors onto HTTP statuses: a shed request is
+// 429 with a Retry-After hint (back off, the pool is saturated), not-ready
+// and closed are 503 (retryable elsewhere), deadline expiry is 504.
 func writeServeError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
 	case errors.Is(err, ErrNotReady), errors.Is(err, ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):

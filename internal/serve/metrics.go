@@ -14,6 +14,8 @@ type metrics struct {
 	snapshotAge *obs.Gauge
 	snapshotSeq *obs.Gauge
 	published   *obs.Counter
+	shed        *obs.Counter
+	panics      *obs.Counter
 }
 
 func newMetrics(r *obs.Registry) metrics {
@@ -39,6 +41,10 @@ func newMetrics(r *obs.Registry) metrics {
 			"publish sequence number of the live snapshot"),
 		published: r.Counter("fexiot_serve_snapshots_published_total",
 			"snapshots published to the engine"),
+		shed: r.Counter("fexiot_serve_shed_total",
+			"requests rejected immediately because the queue was full"),
+		panics: r.Counter("fexiot_serve_panics_total",
+			"panics recovered in inference workers and HTTP handlers"),
 	}
 }
 

@@ -1,0 +1,327 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fexiot/internal/chaos"
+	"fexiot/internal/embed"
+	"fexiot/internal/eventlog"
+	"fexiot/internal/fusion"
+	"fexiot/internal/graph"
+	"fexiot/internal/obs"
+	"fexiot/internal/rules"
+)
+
+// offlineBuilder mirrors httpFixture's graph builder with dims matching
+// the test fixtures.
+func offlineBuilder() GraphBuilder {
+	b := fusion.NewBuilder(51, embed.NewEncoder(24, 32))
+	return func(rs []*rules.Rule, _ eventlog.Log) (*graph.Graph, error) {
+		size := len(rs)
+		if size > 50 {
+			size = 50
+		}
+		return b.Offline(rs, size), nil
+	}
+}
+
+// TestOverloadShedsFast is the load-shedding acceptance test: with one
+// deliberately blocked worker and a depth-1 queue, surplus requests are
+// rejected immediately with ErrOverloaded (not parked until a deadline),
+// the shed counter advances, and the accepted requests still return
+// bit-identical verdicts once the worker unblocks.
+func TestOverloadShedsFast(t *testing.T) {
+	det, drf, gs := fixture(61)
+	snap := NewSnapshot(1, det, drf, searchCfg)
+	g := gs[0]
+	want := snap.Detect(g)
+
+	reg := obs.NewRegistry()
+	block := make(chan struct{})
+	var blocked sync.Once
+	e := NewEngine(Options{Workers: 1, QueueDepth: 1, Metrics: reg,
+		FaultHook: func(string) {
+			// Stall the only worker on its first pass so the queue backs up.
+			blocked.Do(func() { <-block })
+		}})
+	defer e.Close()
+	e.Publish(snap)
+
+	// Request 1 occupies the worker (parked in the hook), request 2 fills
+	// the depth-1 queue. Both must succeed eventually.
+	accepted := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			v, _, err := e.Detect(context.Background(), g)
+			if err == nil && v != want {
+				err = errors.New("verdict tore under overload")
+			}
+			accepted <- err
+		}()
+		// Deterministic arrival order: worker first, queue slot second.
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Every further request must shed fast — well under any deadline.
+	sheds := 0
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		_, _, err := e.Detect(context.Background(), g)
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("surplus request %d: err = %v, want ErrOverloaded", i, err)
+		}
+		if waited := time.Since(start); waited > time.Second {
+			t.Fatalf("shed took %v — that is parking, not fast-fail", waited)
+		}
+		sheds++
+	}
+	if got := reg.Counter("fexiot_serve_shed_total", "").Value(); got != int64(sheds) {
+		t.Fatalf("shed counter = %v, want %d", got, sheds)
+	}
+
+	close(block) // unblock the worker; the two accepted requests drain
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-accepted:
+			if err != nil {
+				t.Fatalf("accepted request failed: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("accepted request never completed")
+		}
+	}
+}
+
+// TestWorkerPanicRecoveredAndRestarted: a scheduled panic inside inference
+// answers exactly that request with ErrPanicked, advances the panic
+// counter, restarts the worker under supervision, and the very next
+// request succeeds on the restarted pool.
+func TestWorkerPanicRecoveredAndRestarted(t *testing.T) {
+	det, drf, gs := fixture(67)
+	snap := NewSnapshot(1, det, drf, searchCfg)
+	g := gs[0]
+
+	reg := obs.NewRegistry()
+	hook := chaos.PanicOnCall(2, "inference meltdown")
+	e := NewEngine(Options{Workers: 1, QueueDepth: 4, Metrics: reg,
+		FaultHook: func(string) { hook() }})
+	defer e.Close()
+	e.Publish(snap)
+
+	if _, _, err := e.Detect(context.Background(), g); err != nil {
+		t.Fatalf("pre-panic request: %v", err)
+	}
+	_, _, err := e.Detect(context.Background(), g)
+	if !errors.Is(err, ErrPanicked) {
+		t.Fatalf("panicked request err = %v, want ErrPanicked", err)
+	}
+	if got := reg.Counter("fexiot_serve_panics_total", "").Value(); got != 1 {
+		t.Fatalf("panic counter = %v, want 1", got)
+	}
+
+	// The supervisor restarts the worker with a short backoff; the next
+	// request must be served by the reborn goroutine.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	want := snap.Detect(g)
+	v, _, err := e.Detect(ctx, g)
+	if err != nil || v != want {
+		t.Fatalf("post-restart request = %+v, %v; want clean verdict", v, err)
+	}
+	if got := e.WorkerRestarts(); got < 1 {
+		t.Fatalf("WorkerRestarts = %d, want ≥ 1", got)
+	}
+	restarts := reg.CounterVec("fexiot_supervisor_restarts_total", "", "task").
+		With("serve-worker").Value()
+	if restarts < 1 {
+		t.Fatalf("restart metric = %v, want ≥ 1", restarts)
+	}
+	if err := e.LiveCheck()(); err != nil {
+		t.Fatalf("one recovered panic tripped liveness: %v", err)
+	}
+}
+
+// TestCloseSubmitRace pins the Close-vs-submit race under -race: requests
+// racing a concurrent Close either complete or fail with a clean error
+// (ErrClosed/ErrOverloaded), never a send-on-closed-channel panic.
+func TestCloseSubmitRace(t *testing.T) {
+	det, drf, gs := fixture(71)
+	snap := NewSnapshot(1, det, drf, searchCfg)
+	g := gs[0]
+	for round := 0; round < 20; round++ {
+		e := NewEngine(Options{Workers: 2, QueueDepth: 2})
+		e.Publish(snap)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		var badErr atomic.Value
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				_, _, err := e.Detect(context.Background(), g)
+				if err != nil && !errors.Is(err, ErrClosed) && !errors.Is(err, ErrOverloaded) {
+					badErr.Store(err)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			e.Close()
+		}()
+		close(start)
+		wg.Wait()
+		e.Close()
+		if err, ok := badErr.Load().(error); ok {
+			t.Fatalf("round %d: unexpected submit error %v", round, err)
+		}
+	}
+}
+
+// TestReadyCheck pins the readiness gate: not-ready before the first
+// publish, ready after, stale once the snapshot outlives maxAge, closed
+// after Close.
+func TestReadyCheck(t *testing.T) {
+	det, drf, _ := fixture(73)
+	e := NewEngine(Options{Workers: 1})
+	ready := e.ReadyCheck(0)
+	if err := ready(); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("pre-publish ready = %v, want ErrNotReady", err)
+	}
+	e.Publish(NewSnapshot(1, det, drf, searchCfg))
+	if err := ready(); err != nil {
+		t.Fatalf("post-publish ready = %v, want nil", err)
+	}
+	stale := e.ReadyCheck(time.Nanosecond)
+	time.Sleep(10 * time.Millisecond)
+	if err := stale(); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("aged snapshot ready = %v, want staleness error", err)
+	}
+	e.Close()
+	if err := ready(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed engine ready = %v, want ErrClosed", err)
+	}
+}
+
+// TestHTTPOverloadReturns429 drives the saturated engine through the HTTP
+// layer: shed requests map to 429 with a Retry-After hint while accepted
+// requests stay 2xx.
+func TestHTTPOverloadReturns429(t *testing.T) {
+	det, drf, _ := fixture(79)
+	block := make(chan struct{})
+	var blocked sync.Once
+	e := NewEngine(Options{Workers: 1, QueueDepth: 1,
+		FaultHook: func(string) { blocked.Do(func() { <-block }) }})
+	t.Cleanup(e.Close)
+	e.Publish(NewSnapshot(1, det, drf, searchCfg))
+	mux := http.NewServeMux()
+	e.Mount(mux, offlineBuilder(), 30*time.Second)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	home := rules.NewGenerator(23, rules.Archetypes()[0], "h-").RuleSet(10)
+
+	results := make(chan *http.Response, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, _ := postJSON(t, ts.URL+"/v1/detect", DetectRequest{Rules: home})
+			results <- resp
+		}()
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	resp, _ := postJSON(t, ts.URL+"/v1/detect", DetectRequest{Rules: home})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("surplus request status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 reply missing Retry-After")
+	}
+
+	close(block)
+	for i := 0; i < 2; i++ {
+		select {
+		case resp := <-results:
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("accepted request status = %d, want 200", resp.StatusCode)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("accepted request never returned")
+		}
+	}
+}
+
+// TestHTTPBodyLimit413: a body over MaxBodyBytes is rejected with 413
+// before any parsing work.
+func TestHTTPBodyLimit413(t *testing.T) {
+	det, drf, _ := fixture(83)
+	e := NewEngine(Options{Workers: 1, MaxBodyBytes: 2048})
+	t.Cleanup(e.Close)
+	e.Publish(NewSnapshot(1, det, drf, searchCfg))
+	mux := http.NewServeMux()
+	e.Mount(mux, offlineBuilder(), 5*time.Second)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	big := `{"rules": [{"id": "` + strings.Repeat("x", 4096) + `"}]}`
+	resp, err := http.Post(ts.URL+"/v1/detect", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status = %d, want 413", resp.StatusCode)
+	}
+
+	small := rules.NewGenerator(29, rules.Archetypes()[0], "h-").RuleSet(3)
+	resp2, _ := postJSON(t, ts.URL+"/v1/detect", DetectRequest{Rules: small})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("in-limit body status = %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestHTTPHandlerPanicIs500: a panicking graph builder costs that request
+// a 500 (with the panic counter advancing), never the process.
+func TestHTTPHandlerPanicIs500(t *testing.T) {
+	det, drf, _ := fixture(89)
+	reg := obs.NewRegistry()
+	e := NewEngine(Options{Workers: 1, Metrics: reg})
+	t.Cleanup(e.Close)
+	e.Publish(NewSnapshot(1, det, drf, searchCfg))
+	mux := http.NewServeMux()
+	e.Mount(mux, func(rs []*rules.Rule, _ eventlog.Log) (*graph.Graph, error) {
+		panic("builder meltdown")
+	}, 5*time.Second)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	home := rules.NewGenerator(31, rules.Archetypes()[0], "h-").RuleSet(3)
+	resp, body := postJSON(t, ts.URL+"/v1/detect", DetectRequest{Rules: home})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler status = %d (%s), want 500", resp.StatusCode, body)
+	}
+	if got := reg.Counter("fexiot_serve_panics_total", "").Value(); got != 1 {
+		t.Fatalf("panic counter = %v, want 1", got)
+	}
+	// The server survives: an honest follow-up request must 500-loop, not
+	// connection-reset, and the engine itself still answers.
+	if _, _, err := e.Detect(context.Background(), gsFromFixture(t)); err != nil {
+		t.Fatalf("engine dead after handler panic: %v", err)
+	}
+}
+
+// gsFromFixture grabs one fixture graph for follow-up probes.
+func gsFromFixture(t *testing.T) *graph.Graph {
+	t.Helper()
+	_, _, gs := fixture(97)
+	return gs[0]
+}

@@ -221,7 +221,10 @@ func TestSwapMidStormNeverTears(t *testing.T) {
 func TestEngineBatchingCorrectUnderLoad(t *testing.T) {
 	det, drf, gs := fixture(29)
 	snap := NewSnapshot(1, det, drf, searchCfg)
-	e := NewEngine(Options{Workers: 2, BatchSize: 8, BatchWindow: 5 * time.Millisecond})
+	// The queue must hold the whole storm: a full queue now sheds with
+	// ErrOverloaded, and this test is about batching, not overload.
+	e := NewEngine(Options{Workers: 2, BatchSize: 8, BatchWindow: 5 * time.Millisecond,
+		QueueDepth: 64})
 	defer e.Close()
 	e.Publish(snap)
 

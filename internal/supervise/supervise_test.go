@@ -1,0 +1,179 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fexiot/internal/obs"
+)
+
+// fastPolicy keeps test restarts in the microsecond range.
+func fastPolicy(maxRestarts int) Policy {
+	return Policy{MaxRestarts: maxRestarts, Backoff: time.Microsecond,
+		MaxBackoff: time.Millisecond, Seed: 42}
+}
+
+// TestRunRecoversPanic pins the crash-to-error conversion: a panicking fn
+// yields a *PanicError carrying the panic value and a stack, never an
+// unwound test process.
+func TestRunRecoversPanic(t *testing.T) {
+	err := Run(context.Background(), func(context.Context) error {
+		panic("boom")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v (%T), want *PanicError", err, err)
+	}
+	if pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError{Value: %v, stack %d bytes}, want boom + stack", pe.Value, len(pe.Stack))
+	}
+	if err := Run(context.Background(), func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("clean fn returned %v", err)
+	}
+}
+
+// TestSupervisorRestartsUntilSuccess: a task failing a few times is
+// restarted (with the restarts counted in state and metrics) and left
+// alone once it completes cleanly.
+func TestSupervisorRestartsUntilSuccess(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Options{Policy: fastPolicy(10), Metrics: reg})
+	var calls atomic.Int64
+	s.Go(context.Background(), "flaky", func(context.Context) error {
+		if calls.Add(1) < 4 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	s.Wait()
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("fn ran %d times, want 4", got)
+	}
+	if got := s.Restarts("flaky"); got != 3 {
+		t.Fatalf("Restarts = %d, want 3", got)
+	}
+	if err := s.Check(); err != nil {
+		t.Fatalf("healthy supervisor reports %v", err)
+	}
+	metric := reg.CounterVec("fexiot_supervisor_restarts_total", "", "task").With("flaky")
+	if got := metric.Value(); got != 3 {
+		t.Fatalf("restart counter = %v, want 3", got)
+	}
+}
+
+// TestSupervisorCircuitTrips: a task that keeps panicking exhausts its
+// restart budget, trips the circuit (failing Check and firing OnTrip), and
+// stops being restarted.
+func TestSupervisorCircuitTrips(t *testing.T) {
+	tripped := make(chan error, 1)
+	s := New(Options{Policy: fastPolicy(2), OnTrip: func(task string, cause error) {
+		if task == "doomed" {
+			tripped <- cause
+		}
+	}})
+	var calls atomic.Int64
+	s.Go(context.Background(), "doomed", func(context.Context) error {
+		calls.Add(1)
+		panic("always")
+	})
+	s.Wait()
+	// Budget 2 ⇒ initial run + 2 restarts = 3 invocations, then trip.
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("fn ran %d times, want 3", got)
+	}
+	err := s.Check()
+	if err == nil || !strings.Contains(err.Error(), "doomed") {
+		t.Fatalf("Check = %v, want tripped circuit naming the task", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Check error %v does not unwrap to the panic", err)
+	}
+	select {
+	case cause := <-tripped:
+		if !errors.As(cause, &pe) {
+			t.Fatalf("OnTrip cause %v, want the panic", cause)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("OnTrip never fired")
+	}
+}
+
+// TestSupervisorStopsOnCancel: cancellation ends the restart loop without
+// tripping the circuit, even while the task keeps failing.
+func TestSupervisorStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := New(Options{Policy: Policy{MaxRestarts: -1, Backoff: time.Millisecond,
+		MaxBackoff: time.Millisecond}})
+	started := make(chan struct{}, 64)
+	s.Go(ctx, "restarting", func(context.Context) error {
+		started <- struct{}{}
+		return errors.New("fail")
+	})
+	<-started
+	cancel()
+	done := make(chan struct{})
+	go func() { s.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait hung after cancel")
+	}
+	if err := s.Check(); err != nil {
+		t.Fatalf("cancelled task tripped the circuit: %v", err)
+	}
+}
+
+// TestRetry pins the bounded-attempt semantics: success after transient
+// failures, exhaustion after the budget, and panic conversion.
+func TestRetry(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), fastPolicy(5), func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Retry err %v after %d calls, want nil after 3", err, calls)
+	}
+
+	calls = 0
+	err = Retry(context.Background(), fastPolicy(2), func() error {
+		calls++
+		return errors.New("permanent")
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("Retry err %v after %d calls, want failure after 3 (1 + budget 2)", err, calls)
+	}
+
+	var pe *PanicError
+	err = Retry(context.Background(), fastPolicy(1), func() error { panic("disk on fire") })
+	if !errors.As(err, &pe) {
+		t.Fatalf("Retry on panic = %v, want *PanicError", err)
+	}
+}
+
+// TestRetryHonoursCancel: a cancelled context stops further attempts.
+func TestRetryHonoursCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, Policy{MaxRestarts: -1, Backoff: time.Millisecond}, func() error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return errors.New("fail")
+	})
+	if err == nil {
+		t.Fatal("cancelled Retry returned nil")
+	}
+	if calls > 3 {
+		t.Fatalf("Retry kept going after cancel: %d calls", calls)
+	}
+}
