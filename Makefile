@@ -5,8 +5,8 @@ GO ?= go
 FUZZTIME ?= 10s
 
 .PHONY: all build test race race-fedproto race-fed race-serve \
-	race-supervise soak vet bench bench-matmul bench-agg bench-codecs \
-	poison-smoke obs-smoke serve-smoke fuzz check
+	race-supervise race-stream soak vet bench bench-matmul bench-agg \
+	bench-codecs poison-smoke obs-smoke serve-smoke stream-smoke fuzz check
 
 all: build
 
@@ -44,6 +44,14 @@ race-supervise:
 	$(GO) test -race -count=1 \
 		-run 'TestCloseSubmitRace|TestOverloadShedsFast|TestWorkerPanicRecoveredAndRestarted' \
 		./internal/serve/
+
+# The streaming session subsystem under the race detector, never from
+# cache: the manager's concurrent ingest/verdict/evict paths plus the
+# full-stack stream e2e (bit-identity vs batch, republish tracking, idle
+# eviction).
+race-stream:
+	$(GO) test -race -count=1 ./internal/stream/...
+	$(GO) test -race -count=1 -run 'TestStream' .
 
 # The cross-layer chaos soak: a seeded plan kills a client link, hard-stops
 # and restarts the checkpointing federation server over a corrupted latest
@@ -90,6 +98,12 @@ obs-smoke:
 serve-smoke:
 	sh scripts/serve-smoke.sh
 
+# End-to-end streaming smoke: a real fexserve, one session fed the
+# attack-injected NDJSON sample, rolling verdict tracked across ≥2
+# republishes, structured error envelope and stream metrics asserted.
+stream-smoke:
+	sh scripts/stream-smoke.sh
+
 # Wire-protocol fuzzers (gob decode must error, never panic). FUZZTIME
 # bounds each target; raise it for long local runs.
 fuzz:
@@ -97,4 +111,5 @@ fuzz:
 	$(GO) test -fuzz FuzzDecodeHello -fuzztime $(FUZZTIME) ./internal/fedproto/
 
 check: build vet test race race-fedproto race-fed race-serve \
-	race-supervise soak poison-smoke bench-codecs obs-smoke serve-smoke
+	race-supervise race-stream soak poison-smoke bench-codecs obs-smoke \
+	serve-smoke stream-smoke

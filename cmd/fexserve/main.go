@@ -1,8 +1,12 @@
 // Command fexserve runs the snapshot-isolated inference server: it trains
 // a compact detection system on synthetic homes, then serves POST
 // /v1/detect and /v1/explain (JSON bodies of deployed rules plus an
-// optional event log) beside the observability routes (/metrics, /statusz,
-// /debug/pprof/) and the health probes (/healthz, /readyz) on one address.
+// optional event log), GET /v1/status and the stateful streaming session
+// endpoints under /v1/streams (create with a rule set, feed NDJSON event
+// batches, read a rolling verdict) beside the observability routes
+// (/metrics, /statusz, /debug/pprof/) and the health probes (/healthz,
+// /readyz) on one address. Every /v1 error is a structured envelope
+// {"error":{"code":...,"message":...}}.
 //
 // -republish retrains in the background on that cadence and atomically
 // publishes each new model to the running server — the smoke test drives
@@ -31,6 +35,7 @@ import (
 	"time"
 
 	"fexiot"
+	"fexiot/internal/eventlog"
 	"fexiot/internal/obs"
 	"fexiot/internal/supervise"
 )
@@ -56,6 +61,12 @@ func main() {
 		"retrain and publish a fresh snapshot on this cadence (0 disables)")
 	sample := flag.String("sample", "",
 		"write a sample /v1/detect request body (JSON) to this file at startup")
+	maxSessions := flag.Int("max-sessions", 0, "concurrent streaming sessions (0 = 256)")
+	windowEvents := flag.Int("window-events", 0, "streaming window size in events (0 = 4096)")
+	windowAge := flag.Int64("window-age", 0, "streaming window age in simulated seconds (0 = 3600)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "evict streaming sessions idle this long (0 = 10m)")
+	streamSample := flag.String("stream-sample", "",
+		"write a sample NDJSON event batch (attack-injected, cleaned) to this file at startup")
 	flag.Parse()
 
 	opts := fexiot.DefaultOptions()
@@ -86,6 +97,12 @@ func main() {
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		MaxSnapshotAge: *maxSnapAge,
+		Streams: fexiot.StreamOptions{
+			MaxSessions:     *maxSessions,
+			MaxWindowEvents: *windowEvents,
+			MaxWindowAge:    *windowAge,
+			IdleTimeout:     *idleTimeout,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -103,6 +120,19 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sample:", err)
+			os.Exit(2)
+		}
+	}
+
+	if *streamSample != "" {
+		// An NDJSON event batch from the same home the -sample body deploys,
+		// with fake commands injected, so the smoke test can open a stream
+		// with the detect sample and feed it a vulnerable event window.
+		home := fexiot.GenerateHome(fexiot.ArchetypeNames()[0], 14, *seed+101)
+		raw := fexiot.SimulateHome(home, 1800, *seed+202)
+		raw = eventlog.Inject(raw, eventlog.FakeCommands, home, 0.6, *seed+303)
+		if err := writeNDJSON(*streamSample, fexiot.CleanLog(raw)); err != nil {
+			fmt.Fprintln(os.Stderr, "stream-sample:", err)
 			os.Exit(2)
 		}
 	}
@@ -135,6 +165,23 @@ func main() {
 
 	<-ctx.Done()
 	fmt.Println("shutting down")
+}
+
+// writeNDJSON writes one JSON event per line — the wire shape of
+// POST /v1/streams/{id}/events.
+func writeNDJSON(path string, log fexiot.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, e := range log {
+		if err := enc.Encode(e); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // trainingGraphs samples labelled offline graphs across the built-in

@@ -41,6 +41,7 @@ import (
 	"fexiot/internal/obs"
 	"fexiot/internal/rules"
 	"fexiot/internal/serve"
+	"fexiot/internal/stream"
 )
 
 // Re-exported core types so callers only import this package for common
@@ -409,16 +410,42 @@ type ServeOptions struct {
 	// instance whose republisher died stops advertising itself. Zero
 	// requires only that some snapshot has been published.
 	MaxSnapshotAge time.Duration
+	// Streams tunes the stateful streaming sessions under /v1/streams.
+	Streams StreamOptions
 }
 
-// Server is a running inference endpoint: /v1/detect and /v1/explain
-// mounted beside the observability routes (/metrics, /statusz,
-// /debug/pprof/) and the health probes (/healthz, /readyz).
-type Server struct {
-	engine *serve.Engine
-	http   *obs.HTTPServer
-	health *obs.Health
+// StreamOptions tunes the streaming detection sessions (see
+// internal/stream). Zero values use the documented stream defaults:
+// 256 sessions, 4096-event windows, 3600 simulated seconds of age,
+// 10-minute idle eviction swept every 15 seconds.
+type StreamOptions struct {
+	// MaxSessions bounds concurrent sessions; creation beyond it fails
+	// with 429 overloaded.
+	MaxSessions int
+	// MaxWindowEvents bounds each session's sliding window by count.
+	MaxWindowEvents int
+	// MaxWindowAge bounds the window by event-time age in simulated
+	// seconds.
+	MaxWindowAge int64
+	// IdleTimeout evicts sessions with no ingest or read for this long.
+	IdleTimeout time.Duration
+	// JanitorInterval is the idle-eviction sweep cadence.
+	JanitorInterval time.Duration
 }
+
+// Server is a running inference endpoint: /v1/detect, /v1/explain,
+// /v1/status and the /v1/streams session endpoints mounted beside the
+// observability routes (/metrics, /statusz, /debug/pprof/) and the health
+// probes (/healthz, /readyz).
+type Server struct {
+	engine  *serve.Engine
+	streams *stream.Manager
+	http    *obs.HTTPServer
+	health  *obs.Health
+}
+
+// Streams reports the number of live streaming sessions.
+func (s *Server) Streams() int { return s.streams.Sessions() }
 
 // Health exposes the server's probe set so callers can register extra
 // liveness or readiness checks (a supervised republisher, a federation
@@ -428,10 +455,11 @@ func (s *Server) Health() *obs.Health { return s.health }
 // Addr reports the resolved listen address (host:port).
 func (s *Server) Addr() string { return s.http.Addr() }
 
-// Close shuts the HTTP listener down and drains the worker pool. It is
-// safe to call more than once.
+// Close shuts the HTTP listener down, closes every streaming session and
+// drains the worker pool. It is safe to call more than once.
 func (s *Server) Close() error {
 	err := s.http.Close()
+	s.streams.Shutdown()
 	s.engine.Close()
 	return err
 }
@@ -468,6 +496,23 @@ func Serve(ctx context.Context, sys *System, opts ServeOptions) (*Server, error)
 		}
 		return sys.BuildGraph(rs), nil
 	}, timeout)
+	mgr := stream.NewManager(eng, func(rs []*Rule, log Log) (*Graph, error) {
+		return sys.BuildOnlineGraph(rs, log), nil
+	}, stream.Options{
+		MaxSessions:     opts.Streams.MaxSessions,
+		MaxWindowEvents: opts.Streams.MaxWindowEvents,
+		MaxWindowAge:    opts.Streams.MaxWindowAge,
+		IdleTimeout:     opts.Streams.IdleTimeout,
+		JanitorInterval: opts.Streams.JanitorInterval,
+		MaxBodyBytes:    opts.MaxBodyBytes,
+		Metrics:         sys.opts.Metrics,
+		CacheStats:      sys.builder.FeatureCacheStats,
+	})
+	mgr.Mount(mux, timeout)
+	eng.MountStatus(mux, serve.StatusInfo{
+		NodeFeatureDim: fusion.WordFeatureDim(sys.encoder),
+		Sessions:       mgr.Sessions,
+	})
 	health := obs.NewHealth()
 	health.AddLiveness("serve-workers", eng.LiveCheck())
 	health.AddReadiness("snapshot", eng.ReadyCheck(opts.MaxSnapshotAge))
@@ -478,10 +523,11 @@ func Serve(ctx context.Context, sys *System, opts ServeOptions) (*Server, error)
 	}
 	hs, err := obs.StartHTTPHandler(addr, mux)
 	if err != nil {
+		mgr.Shutdown()
 		eng.Close()
 		return nil, fmt.Errorf("fexiot: serve: %w", err)
 	}
-	srv := &Server{engine: eng, http: hs, health: health}
+	srv := &Server{engine: eng, streams: mgr, http: hs, health: health}
 	if ctx != nil {
 		context.AfterFunc(ctx, func() { srv.Close() })
 	}

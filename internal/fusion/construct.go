@@ -7,7 +7,9 @@ package fusion
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"fexiot/internal/embed"
 	"fexiot/internal/graph"
@@ -42,6 +44,87 @@ type Builder struct {
 	nextID  int
 	indexed []*rules.Rule
 	index   *PoolIndex
+
+	// Node-feature cache: NodeFeature is a pure function of the rule's
+	// content (description, platform, trigger, actions — NOT its ID), so
+	// re-fusing a streaming session's window after every event batch must
+	// never re-tokenise and re-embed unchanged rule text. Keyed by a
+	// seeded FNV-64 content hash; guarded by its own mutex because
+	// NodeFeature runs while mu is already held.
+	featMu     sync.Mutex
+	featSeed   uint64
+	featCache  map[uint64]featEntry
+	featHits   atomic.Int64
+	featMisses atomic.Int64
+}
+
+type featEntry struct {
+	feat  []float64
+	space graph.FeatureSpace
+}
+
+// maxFeatCacheEntries bounds the feature cache; a full cache is dropped
+// wholesale (epoch eviction), which is deterministic and keeps the common
+// steady-state — a bounded set of deployed rules per serving process —
+// permanently warm.
+const maxFeatCacheEntries = 8192
+
+// FeatureCacheStats reports node-feature cache effectiveness.
+type FeatureCacheStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// FeatureCacheStats returns cumulative cache hits and misses.
+func (b *Builder) FeatureCacheStats() FeatureCacheStats {
+	return FeatureCacheStats{Hits: b.featHits.Load(), Misses: b.featMisses.Load()}
+}
+
+// ruleContentHash hashes everything NodeFeature reads from a rule, seeded
+// per builder. The rule ID is deliberately excluded: two rules with
+// identical text and structure embed identically and share a cache slot.
+func (b *Builder) ruleContentHash(r *rules.Rule) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	putU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		putU64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	cond := func(c rules.Condition) {
+		str(c.Device)
+		str(c.Room)
+		putU64(uint64(c.Channel))
+		str(c.State)
+	}
+	putU64(b.featSeed)
+	putU64(uint64(r.Platform))
+	str(r.Description)
+	cond(r.Trigger)
+	putU64(uint64(len(r.Actions)))
+	for _, a := range r.Actions {
+		str(a.Device)
+		str(a.Room)
+		str(a.Verb)
+		putU64(uint64(a.Channel))
+		str(a.State)
+		if a.Sensitive {
+			putU64(1)
+		} else {
+			putU64(0)
+		}
+		putU64(uint64(len(a.Env)))
+		for _, d := range a.Env {
+			putU64(uint64(d.Channel))
+			putU64(uint64(int64(d.Sign)))
+		}
+	}
+	return h.Sum64()
 }
 
 // indexFor returns a PoolIndex for pool, rebuilding only when the pool
@@ -63,6 +146,8 @@ func NewBuilder(seed int64, enc *embed.Encoder) *Builder {
 		Oracle:     rules.RuleCanTrigger,
 		InjectProb: 0.18,
 		r:          rng.New(seed),
+		featSeed:   uint64(seed)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9,
+		featCache:  map[uint64]featEntry{},
 	}
 }
 
@@ -86,7 +171,21 @@ func SentenceFeatureDim(enc *embed.Encoder) int { return enc.SentenceDim() + 2*S
 // watches: a conflicting pair's action signatures cancel under the GNN's
 // sum aggregation while a duplicate pair's double, giving the network a
 // linear-algebraic handle on the vulnerability patterns.
+// The result is cached under a seeded content hash (see ruleContentHash):
+// a hit skips tokenisation, word-embedding lookups and the signature sums
+// entirely, and returns a fresh copy bit-identical to a recomputation —
+// the cache can never change a verdict, only the work to reach it.
 func (b *Builder) NodeFeature(r *rules.Rule) ([]float64, graph.FeatureSpace) {
+	key := b.ruleContentHash(r)
+	b.featMu.Lock()
+	if e, ok := b.featCache[key]; ok {
+		b.featMu.Unlock()
+		b.featHits.Add(1)
+		return append([]float64(nil), e.feat...), e.space
+	}
+	b.featMu.Unlock()
+	b.featMisses.Add(1)
+
 	var base []float64
 	space := graph.WordSpace
 	if r.Platform.VoicePlatform() {
@@ -99,6 +198,16 @@ func (b *Builder) NodeFeature(r *rules.Rule) ([]float64, graph.FeatureSpace) {
 	feat = append(feat, base...)
 	feat = append(feat, actionSignature(r)...)
 	feat = append(feat, triggerSignature(r)...)
+
+	b.featMu.Lock()
+	if b.featCache == nil {
+		b.featCache = map[uint64]featEntry{}
+	}
+	if len(b.featCache) >= maxFeatCacheEntries {
+		clear(b.featCache)
+	}
+	b.featCache[key] = featEntry{feat: append([]float64(nil), feat...), space: space}
+	b.featMu.Unlock()
 	return feat, space
 }
 

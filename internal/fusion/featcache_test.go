@@ -1,0 +1,97 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+
+	"fexiot/internal/rules"
+)
+
+// TestFeatureCacheHitsAndIdentity pins the node-feature cache's two
+// contracts: repeated fusions of the same rules hit the cache, and cached
+// features are bit-identical to a cold computation.
+func TestFeatureCacheHitsAndIdentity(t *testing.T) {
+	home := rules.NewGenerator(7, rules.Archetypes()[0], "c-").RuleSet(12)
+
+	warm := NewBuilder(11, testEnc)
+	cold := NewBuilder(11, testEnc)
+
+	var warmFeats [][]float64
+	for _, r := range home {
+		f, _ := warm.NodeFeature(r)
+		warmFeats = append(warmFeats, f)
+	}
+	st := warm.FeatureCacheStats()
+	if st.Misses != int64(len(home)) || st.Hits != 0 {
+		t.Fatalf("cold pass: hits=%d misses=%d, want 0/%d", st.Hits, st.Misses, len(home))
+	}
+
+	// Second pass over the same rules: all hits.
+	for i, r := range home {
+		f, _ := warm.NodeFeature(r)
+		for k := range f {
+			if math.Float64bits(f[k]) != math.Float64bits(warmFeats[i][k]) {
+				t.Fatalf("rule %s feature[%d] drifted across cache hit", r.ID, k)
+			}
+		}
+	}
+	st = warm.FeatureCacheStats()
+	if st.Hits != int64(len(home)) {
+		t.Fatalf("warm pass: hits=%d, want %d", st.Hits, len(home))
+	}
+
+	// Cached features are bit-identical to a never-cached builder's.
+	for i, r := range home {
+		f, _ := cold.NodeFeature(r)
+		if len(f) != len(warmFeats[i]) {
+			t.Fatalf("rule %s: dim %d vs %d", r.ID, len(f), len(warmFeats[i]))
+		}
+		for k := range f {
+			if math.Float64bits(f[k]) != math.Float64bits(warmFeats[i][k]) {
+				t.Fatalf("rule %s feature[%d]: cached %v vs cold %v",
+					r.ID, k, warmFeats[i][k], f[k])
+			}
+		}
+	}
+}
+
+// TestFeatureCacheKeyExcludesID pins the cache key to rule CONTENT: two
+// rules differing only in ID share an entry, and any content difference
+// (trigger, action, sensitivity) splits them.
+func TestFeatureCacheKeyExcludesID(t *testing.T) {
+	home := rules.NewGenerator(7, rules.Archetypes()[0], "k-").RuleSet(4)
+	b := NewBuilder(11, testEnc)
+
+	r1 := *home[0]
+	r2 := *home[0]
+	r2.ID = "different-id"
+	b.NodeFeature(&r1)
+	b.NodeFeature(&r2)
+	st := b.FeatureCacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("id-only twin: hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+
+	// A content change misses.
+	r3 := *home[0]
+	r3.Description = r3.Description + " tweaked"
+	b.NodeFeature(&r3)
+	st = b.FeatureCacheStats()
+	if st.Misses != 2 {
+		t.Fatalf("content twin: misses=%d, want 2", st.Misses)
+	}
+}
+
+// TestFeatureCacheCopies guards the cache against aliasing: mutating a
+// returned feature must not corrupt later reads.
+func TestFeatureCacheCopies(t *testing.T) {
+	home := rules.NewGenerator(7, rules.Archetypes()[0], "a-").RuleSet(1)
+	b := NewBuilder(11, testEnc)
+	f1, _ := b.NodeFeature(home[0])
+	want := f1[0]
+	f1[0] = want + 1e9
+	f2, _ := b.NodeFeature(home[0])
+	if f2[0] != want {
+		t.Fatalf("cache aliased caller slice: got %v, want %v", f2[0], want)
+	}
+}

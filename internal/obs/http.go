@@ -38,6 +38,7 @@ func NewHandler(r *Registry) *http.ServeMux {
 		w.Write([]byte(`<html><body><h1>fexiot observability</h1><ul>` +
 			`<li><a href="/metrics">/metrics</a> — Prometheus text format</li>` +
 			`<li><a href="/statusz">/statusz</a> — JSON snapshot</li>` +
+			`<li><a href="/v1/status">/v1/status</a> — serving-engine status (when mounted)</li>` +
 			`<li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiler</li>` +
 			`</ul></body></html>`))
 	})

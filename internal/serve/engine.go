@@ -122,15 +122,17 @@ type response struct {
 // crash-looping past its restart budget trips a circuit that LiveCheck —
 // and from there /healthz — reports.
 type Engine struct {
-	snap   atomic.Pointer[Snapshot]
-	reqs   chan *request
-	stop   chan struct{}
-	wg     sync.WaitGroup
-	once   sync.Once
-	opts   Options
-	m      metrics
-	sup    *supervise.Supervisor
-	cancel context.CancelFunc
+	snap    atomic.Pointer[Snapshot]
+	reqs    chan *request
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+	opts    Options
+	m       metrics
+	sup     *supervise.Supervisor
+	cancel  context.CancelFunc
+	started time.Time
+	sheds   atomic.Int64
 }
 
 // NewEngine starts the supervised worker pool (and the snapshot-age ticker
@@ -138,10 +140,11 @@ type Engine struct {
 // Publish.
 func NewEngine(opts Options) *Engine {
 	e := &Engine{
-		reqs: make(chan *request, opts.queueDepth()),
-		stop: make(chan struct{}),
-		opts: opts,
-		m:    newMetrics(opts.Metrics),
+		reqs:    make(chan *request, opts.queueDepth()),
+		stop:    make(chan struct{}),
+		opts:    opts,
+		m:       newMetrics(opts.Metrics),
+		started: time.Now(),
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e.cancel = cancel
@@ -175,6 +178,43 @@ func (e *Engine) Publish(s *Snapshot) {
 // Snapshot returns the live snapshot (nil before the first Publish) —
 // callers that want several reads from one consistent model pin it once.
 func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// SnapshotSeq reports the live snapshot's publish sequence number and
+// whether one has been published at all. Streaming sessions poll it to
+// decide whether a cached rolling verdict still tracks the live model.
+func (e *Engine) SnapshotSeq() (uint64, bool) {
+	if s := e.snap.Load(); s != nil {
+		return s.Seq(), true
+	}
+	return 0, false
+}
+
+// EngineStats is the operational snapshot behind GET /v1/status.
+type EngineStats struct {
+	Workers            int
+	QueueDepth         int
+	QueueLength        int
+	Shed               int64
+	SnapshotSeq        uint64
+	SnapshotAgeSeconds float64
+	UptimeSeconds      float64
+}
+
+// Stats reports pool sizing, queue load, shed count and snapshot identity.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{
+		Workers:       e.opts.workers(),
+		QueueDepth:    e.opts.queueDepth(),
+		QueueLength:   len(e.reqs),
+		Shed:          e.sheds.Load(),
+		UptimeSeconds: time.Since(e.started).Seconds(),
+	}
+	if s := e.snap.Load(); s != nil {
+		st.SnapshotSeq = s.Seq()
+		st.SnapshotAgeSeconds = time.Since(s.Created()).Seconds()
+	}
+	return st
+}
 
 // LiveCheck returns the engine's liveness probe: nil while the worker pool
 // is within its restart budget, the tripped circuit's cause once a worker
@@ -245,6 +285,7 @@ func (e *Engine) submit(ctx context.Context, r *request) response {
 		default:
 		}
 		e.m.shed.Inc()
+		e.sheds.Add(1)
 		return response{err: ErrOverloaded}
 	}
 	select {

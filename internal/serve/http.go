@@ -2,8 +2,6 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -47,19 +45,84 @@ type ExplainResponse struct {
 	SnapshotSeq uint64   `json:"snapshot_seq"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// StatusResponse is the JSON reply of GET /v1/status: a cheap operational
+// snapshot of the serving engine — what model is live, how big the pool
+// is, how loaded the queue is — without scraping /metrics.
+type StatusResponse struct {
+	Ready              bool    `json:"ready"`
+	SnapshotSeq        uint64  `json:"snapshot_seq"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	NodeFeatureDim     int     `json:"node_feature_dim,omitempty"`
+	Workers            int     `json:"workers"`
+	QueueDepth         int     `json:"queue_depth"`
+	QueueLength        int     `json:"queue_length"`
+	ShedTotal          int64   `json:"shed_total"`
+	UptimeSeconds      float64 `json:"uptime_seconds"`
+	StreamSessions     *int    `json:"stream_sessions,omitempty"`
+}
+
+// StatusInfo carries facade-known facts into GET /v1/status: the node
+// feature width the live model consumes, and — when streaming sessions are
+// mounted — a live session count.
+type StatusInfo struct {
+	NodeFeatureDim int
+	Sessions       func() int
+}
+
+// send/sendErr write a response and count network write failures (the only
+// thing left to do once the status line is out).
+func (e *Engine) send(w http.ResponseWriter, status int, body any) {
+	if err := WriteJSON(w, status, body); err != nil {
+		e.m.writeErrs.Inc()
+	}
+}
+
+func (e *Engine) sendErr(w http.ResponseWriter, err error) {
+	if werr := WriteError(w, err); werr != nil {
+		e.m.writeErrs.Inc()
+	}
 }
 
 // Mount registers the inference endpoints on mux (typically the
-// obs.NewHandler mux, so /v1/* rides next to /metrics). timeout bounds
-// each request's queue wait + inference (0 disables).
+// obs.NewHandler mux, so /v1/* rides next to /metrics), plus a /v1/
+// catch-all answering unknown versioned paths with a not_found envelope
+// instead of the mux's plain-text 404. timeout bounds each request's queue
+// wait + inference (0 disables).
 func (e *Engine) Mount(mux *http.ServeMux, build GraphBuilder, timeout time.Duration) {
 	mux.HandleFunc("/v1/detect", func(w http.ResponseWriter, req *http.Request) {
 		e.handle(w, req, build, timeout, reqDetect)
 	})
 	mux.HandleFunc("/v1/explain", func(w http.ResponseWriter, req *http.Request) {
 		e.handle(w, req, build, timeout, reqExplain)
+	})
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, req *http.Request) {
+		e.sendErr(w, fmt.Errorf("%w: no endpoint %s", ErrNotFound, req.URL.Path))
+	})
+}
+
+// MountStatus registers GET /v1/status.
+func (e *Engine) MountStatus(mux *http.ServeMux, info StatusInfo) {
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, req *http.Request) {
+		if !AllowMethods(w, req, http.MethodGet) {
+			return
+		}
+		st := e.Stats()
+		resp := StatusResponse{
+			Ready:              st.SnapshotSeq > 0,
+			SnapshotSeq:        st.SnapshotSeq,
+			SnapshotAgeSeconds: st.SnapshotAgeSeconds,
+			NodeFeatureDim:     info.NodeFeatureDim,
+			Workers:            st.Workers,
+			QueueDepth:         st.QueueDepth,
+			QueueLength:        st.QueueLength,
+			ShedTotal:          st.Shed,
+			UptimeSeconds:      st.UptimeSeconds,
+		}
+		if info.Sessions != nil {
+			n := info.Sessions()
+			resp.StreamSessions = &n
+		}
+		e.send(w, http.StatusOK, resp)
 	})
 }
 
@@ -70,35 +133,32 @@ func (e *Engine) handle(w http.ResponseWriter, req *http.Request,
 	defer func() {
 		if v := recover(); v != nil {
 			e.m.panics.Inc()
-			writeJSON(w, http.StatusInternalServerError,
-				errorResponse{fmt.Sprintf("%v: %v", ErrPanicked, v)})
+			e.sendErr(w, fmt.Errorf("%w: %v", ErrPanicked, v))
 		}
 	}()
-	if req.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed,
-			errorResponse{"POST a JSON body with rules (and optional events)"})
+	if !AllowMethods(w, req, http.MethodPost) {
 		return
 	}
-	req.Body = http.MaxBytesReader(w, req.Body, e.opts.maxBodyBytes())
+	if !RequireContentType(w, req) {
+		return
+	}
 	var in DetectRequest
-	if err := json.NewDecoder(req.Body).Decode(&in); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				errorResponse{fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)})
-			return
-		}
-		writeJSON(w, http.StatusBadRequest, errorResponse{"bad JSON: " + err.Error()})
+	if err := ReadJSON(w, req, e.opts.maxBodyBytes(), &in); err != nil {
+		e.sendErr(w, err)
 		return
 	}
 	if len(in.Rules) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"rules must be non-empty"})
+		e.sendErr(w, fmt.Errorf("%w: rules must be non-empty", ErrBadRequest))
 		return
 	}
 	g, err := build(in.Rules, in.Events)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		e.sendErr(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	if g.N() == 0 {
+		e.sendErr(w, fmt.Errorf("%w: rules and events fuse into an empty graph "+
+			"(no rule was active in the log)", ErrBadRequest))
 		return
 	}
 	ctx := req.Context()
@@ -111,10 +171,10 @@ func (e *Engine) handle(w http.ResponseWriter, req *http.Request,
 	case reqDetect:
 		v, seq, err := e.Detect(ctx, g)
 		if err != nil {
-			writeServeError(w, err)
+			e.sendErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, DetectResponse{
+		e.send(w, http.StatusOK, DetectResponse{
 			Vulnerable:  v.Vulnerable,
 			Score:       v.Score,
 			Drifting:    v.Drifting,
@@ -125,7 +185,7 @@ func (e *Engine) handle(w http.ResponseWriter, req *http.Request,
 	case reqExplain:
 		ex, seq, err := e.Explain(ctx, g)
 		if err != nil {
-			writeServeError(w, err)
+			e.sendErr(w, err)
 			return
 		}
 		out := ExplainResponse{
@@ -140,29 +200,6 @@ func (e *Engine) handle(w http.ResponseWriter, req *http.Request,
 				out.RuleIDs = append(out.RuleIDs, r.ID)
 			}
 		}
-		writeJSON(w, http.StatusOK, out)
+		e.send(w, http.StatusOK, out)
 	}
-}
-
-// writeServeError maps engine errors onto HTTP statuses: a shed request is
-// 429 with a Retry-After hint (back off, the pool is saturated), not-ready
-// and closed are 503 (retryable elsewhere), deadline expiry is 504.
-func writeServeError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
-	case errors.Is(err, ErrNotReady), errors.Is(err, ErrClosed):
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{err.Error()})
-	default:
-		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
-	}
-}
-
-func writeJSON(w http.ResponseWriter, status int, body any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(body)
 }

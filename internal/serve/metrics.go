@@ -16,6 +16,7 @@ type metrics struct {
 	published   *obs.Counter
 	shed        *obs.Counter
 	panics      *obs.Counter
+	writeErrs   *obs.Counter
 }
 
 func newMetrics(r *obs.Registry) metrics {
@@ -45,6 +46,8 @@ func newMetrics(r *obs.Registry) metrics {
 			"requests rejected immediately because the queue was full"),
 		panics: r.Counter("fexiot_serve_panics_total",
 			"panics recovered in inference workers and HTTP handlers"),
+		writeErrs: r.Counter("fexiot_serve_response_write_errors_total",
+			"JSON responses whose network write failed after the status line"),
 	}
 }
 
