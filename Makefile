@@ -4,9 +4,10 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race race-fedproto race-fed race-serve \
-	race-supervise race-stream soak vet bench bench-matmul bench-agg \
-	bench-codecs poison-smoke obs-smoke serve-smoke stream-smoke fuzz check
+.PHONY: all build test test-debugarena race race-fedproto race-fed \
+	race-serve race-supervise race-stream soak vet bench bench-matmul \
+	bench-agg bench-codecs bench-json bench-json-smoke poison-smoke \
+	obs-smoke serve-smoke stream-smoke fuzz check
 
 all: build
 
@@ -16,8 +17,20 @@ build:
 test:
 	$(GO) test ./...
 
+# The arena's NaN-poison mode: released buffers are filled with NaN, so any
+# use-after-recycle in the tape/workspace layers fails loudly. Runs the
+# allocation-hot packages with the debugarena build tag, never from cache.
+test-debugarena:
+	$(GO) test -tags=debugarena -count=1 ./internal/mat/ \
+		./internal/autodiff/ ./internal/gnn/ ./internal/nn/
+
+# The full suite under the race detector. The evaluation package alone
+# (pinned F1 sweeps under ~15x race instrumentation) legitimately needs
+# most of go test's default 600s per-package budget on single-core CI
+# hosts, so the timeout is raised explicitly — a hang still fails, just
+# later.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 1800s ./...
 
 # The federation protocol's concurrency paths (quorum rounds, eviction,
 # rejoin, fault injection, crash/restart recovery) under the race detector,
@@ -81,6 +94,17 @@ bench-codecs:
 	$(GO) test -count=1 -run 'TestQ8BeatsRaw64ByFourX' \
 		-bench Codecs -benchtime 100x ./internal/fedproto/codec/
 
+# Allocation/throughput baseline snapshot: runs the pinned benchmarks with
+# -benchmem and writes BENCH_<date>.json (name, ns/op, B/op, allocs/op plus
+# extra ReportMetric columns) for committing/diffing against past baselines.
+bench-json:
+	sh scripts/bench-baseline.sh
+
+# Harness smoke for `make check`: tiny benchtime, throwaway output file —
+# proves the bench-to-JSON pipeline still runs and parses.
+bench-json-smoke:
+	BENCH_SMOKE=1 sh scripts/bench-baseline.sh
+
 # The pinned poisoning acceptance scenario, never from cache: 8 clients,
 # 2 Byzantine, robust aggregators must hold F1 while FedAvg degrades.
 poison-smoke:
@@ -110,6 +134,6 @@ fuzz:
 	$(GO) test -fuzz FuzzDecodeUpdate -fuzztime $(FUZZTIME) ./internal/fedproto/
 	$(GO) test -fuzz FuzzDecodeHello -fuzztime $(FUZZTIME) ./internal/fedproto/
 
-check: build vet test race race-fedproto race-fed race-serve \
-	race-supervise race-stream soak poison-smoke bench-codecs obs-smoke \
-	serve-smoke stream-smoke
+check: build vet test test-debugarena race race-fedproto race-fed \
+	race-serve race-supervise race-stream soak poison-smoke bench-codecs \
+	bench-json-smoke obs-smoke serve-smoke stream-smoke

@@ -29,6 +29,7 @@ var printOnce sync.Map
 // prints its output the first time.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	setup := experiments.DefaultSetup()
 	for i := 0; i < b.N; i++ {
 		out, err := experiments.Run(id, setup)
@@ -111,6 +112,7 @@ func benchMatMul(b *testing.B, n, procs int) {
 		x.Data()[i] = math.Sin(float64(i) * 0.13)
 		y.Data()[i] = math.Cos(float64(i) * 0.07)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mat.MulTo(dst, x, y)
@@ -152,6 +154,7 @@ func benchAggregator(b *testing.B, agg fed.Aggregator) {
 			vecs[i][j] = math.Sin(float64(i*dim+j) * 0.37)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		agg.Aggregate(vecs, w)
@@ -219,6 +222,7 @@ func getFixture(b *testing.B) *pipelineFixture {
 func BenchmarkGraphConstruction(b *testing.B) {
 	f := getFixture(b)
 	deployed := fexiot.GenerateHome("safety", 25, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.sys.BuildGraph(deployed)
@@ -228,6 +232,7 @@ func BenchmarkGraphConstruction(b *testing.B) {
 // BenchmarkDetect measures one vulnerability prediction (GNN embed + head).
 func BenchmarkDetect(b *testing.B) {
 	f := getFixture(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.sys.Detect(f.probe); err != nil {
@@ -239,6 +244,7 @@ func BenchmarkDetect(b *testing.B) {
 // BenchmarkExplain measures one SHAP-guided MCBS explanation.
 func BenchmarkExplain(b *testing.B) {
 	f := getFixture(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.sys.Explain(f.probe); err != nil {
@@ -250,6 +256,7 @@ func BenchmarkExplain(b *testing.B) {
 // BenchmarkSimulateAndClean measures event-log simulation plus cleaning.
 func BenchmarkSimulateAndClean(b *testing.B) {
 	deployed := fexiot.GenerateHome("safety", 14, 5)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fexiot.CleanLog(fexiot.SimulateHome(deployed, 1000, int64(i)))
@@ -261,6 +268,7 @@ func BenchmarkOnlineFusion(b *testing.B) {
 	f := getFixture(b)
 	deployed := fexiot.GenerateHome("safety", 14, 5)
 	log := fexiot.CleanLog(fexiot.SimulateHome(deployed, 2000, 3))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.sys.BuildOnlineGraph(deployed, log)

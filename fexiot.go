@@ -87,6 +87,11 @@ type Options struct {
 	// bytes by compressing per-round deltas at a bounded accuracy cost,
 	// mirroring the networked protocol's -codec flag.
 	Codec string
+	// DisableArena turns off the size-classed matrix arena process-wide
+	// (equivalent to FEXIOT_ARENA=off): every tape buffer lease falls
+	// through to a fresh allocation. Results are bit-identical either way;
+	// this is the escape hatch for leak hunts and memory profiling.
+	DisableArena bool
 }
 
 // DefaultOptions returns the documented defaults: a compact GIN sized for
@@ -154,6 +159,9 @@ func New(opts Options) (*System, error) {
 	}
 	if opts.Procs > 0 {
 		mat.SetParallelism(opts.Procs)
+	}
+	if opts.DisableArena {
+		mat.SetArenaEnabled(false)
 	}
 	if opts.Metrics != nil {
 		mat.InstrumentKernels(opts.Metrics)

@@ -21,6 +21,28 @@ func Bind(t *Tape, params *ParamSet) *Binder {
 	return &Binder{tape: t, params: params, nodes: map[string]*Node{}}
 }
 
+// Rebind points the binder at a (usually freshly Reset) tape for the next
+// pass, forgetting the previous pass's parameter nodes but keeping the map
+// storage. Training loops call Reset+Rebind per pass instead of allocating
+// a new tape and binder per pass.
+func (b *Binder) Rebind(t *Tape, params *ParamSet) {
+	b.tape = t
+	b.params = params
+	clear(b.nodes)
+}
+
+// EachGrad calls fn for every bound parameter that accumulated a gradient
+// this pass. Unlike Grads it allocates nothing; the *mat.Dense handed to fn
+// is tape-owned and dies at the next Reset, so fn must consume it (copy or
+// accumulate), not retain it.
+func (b *Binder) EachGrad(fn func(name string, g *mat.Dense)) {
+	for name, n := range b.nodes {
+		if n.Grad != nil {
+			fn(name, n.Grad)
+		}
+	}
+}
+
 // Node returns the tape node for the named parameter, creating it on first
 // use in this pass.
 func (b *Binder) Node(name string) *Node {

@@ -9,52 +9,69 @@ import (
 
 // SumAll reduces a node to its 1×1 element sum.
 func (t *Tape) SumAll(a *Node) *Node {
-	val := mat.NewDense(1, 1)
-	val.Set(0, 0, a.Value.Sum())
-	var out *Node
-	out = t.node(val, a.needs, []*Node{a}, func() {
-		if !a.needs {
-			return
-		}
-		ensureGrad(a)
-		g := out.Grad.At(0, 0)
-		d := a.Grad.Data()
-		for i := range d {
-			d[i] += g
-		}
-	})
+	out := t.op(1, 1, a.needs, backSumAll)
+	out.a = a
+	out.Value.Set(0, 0, a.Value.Sum())
 	return out
+}
+
+func backSumAll(out *Node) {
+	a := out.a
+	if !a.needs {
+		return
+	}
+	ensureGrad(a)
+	g := out.Grad.At(0, 0)
+	d := a.Grad.Data()
+	for i := range d {
+		d[i] += g
+	}
 }
 
 // AddConst returns a + c element-wise for a constant scalar c.
 func (t *Tape) AddConst(a *Node, c float64) *Node {
-	val := a.Value.Clone().Apply(func(x float64) float64 { return x + c })
-	var out *Node
-	out = t.node(val, a.needs, []*Node{a}, func() {
-		if !a.needs {
-			return
-		}
-		ensureGrad(a)
-		a.Grad.AddScaled(out.Grad, 1)
-	})
+	r, cc := a.Value.Dims()
+	out := t.op(r, cc, a.needs, backAddConst)
+	out.a = a
+	out.scalar = c
+	od, ad := out.Value.Data(), a.Value.Data()
+	for i := range od {
+		od[i] = ad[i] + c
+	}
 	return out
+}
+
+func backAddConst(out *Node) {
+	if out.a.needs {
+		ensureGrad(out.a)
+		out.a.Grad.AddScaled(out.Grad, 1)
+	}
 }
 
 // SoftmaxCrossEntropy computes the mean weighted cross-entropy between
 // logits (n×C) and integer labels, with per-class weights (nil for uniform).
 // This is the "weighted cross-entropy loss ... according to the inverse
-// ratio to class frequencies" used by the paper for class imbalance.
+// ratio to class frequencies" used by the paper for class imbalance. labels
+// and classWeights are caller-owned and must stay valid until Reset.
 func (t *Tape) SoftmaxCrossEntropy(logits *Node, labels []int, classWeights []float64) *Node {
 	n, c := logits.Value.Dims()
 	if len(labels) != n {
 		panic(fmt.Sprintf("autodiff: %d labels for %d logits rows", len(labels), n))
 	}
-	probs := mat.NewDense(n, c)
+	out := t.op(1, 1, logits.needs, backSoftmaxCrossEntropy)
+	out.a = logits
+	out.idx = labels
+	out.w1 = classWeights
+	// The softmax probabilities are needed again in backward; they live in
+	// the node's leased auxiliary buffer and die at Reset.
+	out.ahdr.Remake(n, c, t.arena.Lease(n*c))
+	out.hasAux = true
+	probs := &out.ahdr
 	var loss float64
 	var wsum float64
 	for i := 0; i < n; i++ {
-		p := mat.Softmax(logits.Value.Row(i))
-		copy(probs.Row(i), p)
+		p := probs.Row(i)
+		mat.SoftmaxTo(p, logits.Value.Row(i))
 		w := 1.0
 		if classWeights != nil {
 			w = classWeights[labels[i]]
@@ -66,43 +83,50 @@ func (t *Tape) SoftmaxCrossEntropy(logits *Node, labels []int, classWeights []fl
 		wsum = 1
 	}
 	loss /= wsum
-	val := mat.NewDense(1, 1)
-	val.Set(0, 0, loss)
-	var out *Node
-	out = t.node(val, logits.needs, []*Node{logits}, func() {
-		if !logits.needs {
-			return
-		}
-		ensureGrad(logits)
-		g := out.Grad.At(0, 0)
-		for i := 0; i < n; i++ {
-			w := 1.0
-			if classWeights != nil {
-				w = classWeights[labels[i]]
-			}
-			gi := logits.Grad.Row(i)
-			pi := probs.Row(i)
-			for j := 0; j < c; j++ {
-				d := pi[j]
-				if j == labels[i] {
-					d -= 1
-				}
-				gi[j] += g * w * d / wsum
-			}
-		}
-	})
+	out.scalar = wsum
+	out.Value.Set(0, 0, loss)
 	return out
 }
 
+func backSoftmaxCrossEntropy(out *Node) {
+	logits := out.a
+	if !logits.needs {
+		return
+	}
+	ensureGrad(logits)
+	n, c := logits.Value.Dims()
+	labels, classWeights, wsum := out.idx, out.w1, out.scalar
+	g := out.Grad.At(0, 0)
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if classWeights != nil {
+			w = classWeights[labels[i]]
+		}
+		gi := logits.Grad.Row(i)
+		pi := out.ahdr.Row(i)
+		for j := 0; j < c; j++ {
+			d := pi[j]
+			if j == labels[i] {
+				d -= 1
+			}
+			gi[j] += g * w * d / wsum
+		}
+	}
+}
+
 // MSE computes mean squared error between pred and a constant target of the
-// same shape.
+// same shape. target is caller-owned and must stay valid until Reset.
 func (t *Tape) MSE(pred *Node, target *mat.Dense) *Node {
 	r, c := pred.Value.Dims()
 	tr, tc := target.Dims()
 	if r != tr || c != tc {
 		panic(fmt.Sprintf("autodiff: MSE %dx%d vs target %dx%d", r, c, tr, tc))
 	}
+	out := t.op(1, 1, pred.needs, backMSE)
+	out.a = pred
+	out.auxRef = target
 	n := float64(r * c)
+	out.scalar = n
 	var loss float64
 	pd, td := pred.Value.Data(), target.Data()
 	for i := range pd {
@@ -110,21 +134,22 @@ func (t *Tape) MSE(pred *Node, target *mat.Dense) *Node {
 		loss += d * d
 	}
 	loss /= n
-	val := mat.NewDense(1, 1)
-	val.Set(0, 0, loss)
-	var out *Node
-	out = t.node(val, pred.needs, []*Node{pred}, func() {
-		if !pred.needs {
-			return
-		}
-		ensureGrad(pred)
-		g := out.Grad.At(0, 0)
-		gd := pred.Grad.Data()
-		for i := range pd {
-			gd[i] += g * 2 * (pd[i] - td[i]) / n
-		}
-	})
+	out.Value.Set(0, 0, loss)
 	return out
+}
+
+func backMSE(out *Node) {
+	pred := out.a
+	if !pred.needs {
+		return
+	}
+	ensureGrad(pred)
+	g := out.Grad.At(0, 0)
+	n := out.scalar
+	pd, td, gd := pred.Value.Data(), out.auxRef.Data(), pred.Grad.Data()
+	for i := range pd {
+		gd[i] += g * 2 * (pd[i] - td[i]) / n
+	}
 }
 
 // ContrastiveLoss implements Eq. (2) of the paper for a pair of graph
@@ -147,18 +172,26 @@ func (t *Tape) ContrastiveLoss(za, zb *Node, differentClass bool, margin float64
 }
 
 // BCEWithLogits computes mean binary cross-entropy between logits (n×1) and
-// targets in {0,1}, with optional per-sample weights.
+// targets in {0,1}, with optional per-sample weights. targets and
+// sampleWeights are caller-owned and must stay valid until Reset.
 func (t *Tape) BCEWithLogits(logits *Node, targets []float64, sampleWeights []float64) *Node {
 	n, c := logits.Value.Dims()
 	if c != 1 || len(targets) != n {
 		panic(fmt.Sprintf("autodiff: BCE logits %dx%d with %d targets", n, c, len(targets)))
 	}
+	out := t.op(1, 1, logits.needs, backBCEWithLogits)
+	out.a = logits
+	out.w1 = targets
+	out.w2 = sampleWeights
+	if cap(out.fls) < n {
+		out.fls = make([]float64, n)
+	}
+	out.fls = out.fls[:n]
 	var loss, wsum float64
-	sig := make([]float64, n)
 	for i := 0; i < n; i++ {
 		z := logits.Value.At(i, 0)
 		s := mat.Sigmoid(z)
-		sig[i] = s
+		out.fls[i] = s
 		w := 1.0
 		if sampleWeights != nil {
 			w = sampleWeights[i]
@@ -171,22 +204,25 @@ func (t *Tape) BCEWithLogits(logits *Node, targets []float64, sampleWeights []fl
 		wsum = 1
 	}
 	loss /= wsum
-	val := mat.NewDense(1, 1)
-	val.Set(0, 0, loss)
-	var out *Node
-	out = t.node(val, logits.needs, []*Node{logits}, func() {
-		if !logits.needs {
-			return
-		}
-		ensureGrad(logits)
-		g := out.Grad.At(0, 0)
-		for i := 0; i < n; i++ {
-			w := 1.0
-			if sampleWeights != nil {
-				w = sampleWeights[i]
-			}
-			logits.Grad.Add(i, 0, g*w*(sig[i]-targets[i])/wsum)
-		}
-	})
+	out.scalar = wsum
+	out.Value.Set(0, 0, loss)
 	return out
+}
+
+func backBCEWithLogits(out *Node) {
+	logits := out.a
+	if !logits.needs {
+		return
+	}
+	ensureGrad(logits)
+	n, _ := logits.Value.Dims()
+	targets, sampleWeights, wsum := out.w1, out.w2, out.scalar
+	g := out.Grad.At(0, 0)
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if sampleWeights != nil {
+			w = sampleWeights[i]
+		}
+		logits.Grad.Add(i, 0, g*w*(out.fls[i]-targets[i])/wsum)
+	}
 }

@@ -1,0 +1,182 @@
+package autodiff
+
+import (
+	"math"
+	"testing"
+
+	"fexiot/internal/mat"
+	"fexiot/internal/rng"
+)
+
+// reuseParams builds a small two-layer parameter set.
+func reuseParams(seed int64) *ParamSet {
+	r := rng.New(seed)
+	p := NewParamSet()
+	p.Register("w1", 0, r.Glorot(6, 8))
+	p.Register("b1", 0, mat.NewDense(1, 8))
+	p.Register("w2", 1, r.Glorot(8, 4))
+	p.Register("b2", 1, mat.NewDense(1, 4))
+	return p
+}
+
+// reuseForward runs a small MLP-shaped pass: matmul, broadcast bias, ReLU,
+// matmul, bias, softmax CE — all the hot ops of the real models.
+func reuseForward(t *Tape, b *Binder, x *mat.Dense, labels []int) *Node {
+	h := t.MatMul(t.Constant(x), b.Node("w1"))
+	h = t.AddRowBroadcast(h, b.Node("b1"))
+	h = t.ReLU(h)
+	h = t.MatMul(h, b.Node("w2"))
+	h = t.AddRowBroadcast(h, b.Node("b2"))
+	return t.SoftmaxCrossEntropy(h, labels, nil)
+}
+
+// TestTapeReuseMatchesFreshTape pins the arena's bit-identity contract: a
+// pass on a many-times-recycled tape must produce exactly the same loss and
+// gradients as the same pass on a brand-new tape.
+func TestTapeReuseMatchesFreshTape(t *testing.T) {
+	params := reuseParams(3)
+	r := rng.New(17)
+	x := r.Gaussian(5, 6, 1)
+	labels := []int{0, 1, 2, 3, 0}
+
+	// Reference: fresh tape per pass.
+	freshLoss := func() (float64, map[string]*mat.Dense) {
+		tape := NewTape()
+		b := Bind(tape, params)
+		loss := reuseForward(tape, b, x, labels)
+		tape.Backward(loss)
+		return loss.Value.At(0, 0), b.Grads()
+	}
+	wantLoss, wantGrads := freshLoss()
+
+	// Candidate: one tape recycled through many passes (with varying-shape
+	// interleaved passes to churn the arena's size classes).
+	tape := NewTape()
+	b := Bind(tape, params)
+	other := r.Gaussian(9, 6, 1)
+	otherLabels := []int{1, 0, 3, 2, 1, 0, 0, 2, 3}
+	for i := 0; i < 50; i++ {
+		tape.Reset()
+		b.Rebind(tape, params)
+		if i%3 == 2 {
+			loss := reuseForward(tape, b, other, otherLabels)
+			tape.Backward(loss)
+			continue
+		}
+		loss := reuseForward(tape, b, x, labels)
+		tape.Backward(loss)
+		if got := loss.Value.At(0, 0); math.Float64bits(got) != math.Float64bits(wantLoss) {
+			t.Fatalf("pass %d: recycled-tape loss %v != fresh-tape loss %v", i, got, wantLoss)
+		}
+		for name, want := range wantGrads {
+			got := b.Grads()[name]
+			for j, wv := range want.Data() {
+				if math.Float64bits(got.Data()[j]) != math.Float64bits(wv) {
+					t.Fatalf("pass %d: grad %q[%d] = %v != %v", i, name, j, got.Data()[j], wv)
+				}
+			}
+		}
+	}
+}
+
+// TestGradBufferReuseAcrossPasses verifies ensureGrad actually recycles: on
+// a warmed tape, a parameter's gradient matrix must reuse arena backing
+// rather than allocate, which shows up as a stable steady-state arena miss
+// count.
+func TestGradBufferReuseAcrossPasses(t *testing.T) {
+	params := reuseParams(5)
+	x := rng.New(7).Gaussian(5, 6, 1)
+	labels := []int{0, 1, 2, 3, 0}
+	tape := NewTape()
+	b := Bind(tape, params)
+	for i := 0; i < 5; i++ { // warm every size class
+		tape.Reset()
+		b.Rebind(tape, params)
+		tape.Backward(reuseForward(tape, b, x, labels))
+	}
+	before := tape.ArenaStats()
+	for i := 0; i < 20; i++ {
+		tape.Reset()
+		b.Rebind(tape, params)
+		tape.Backward(reuseForward(tape, b, x, labels))
+	}
+	after := tape.ArenaStats()
+	if after.Misses != before.Misses {
+		t.Fatalf("steady-state passes still miss the arena: %d -> %d misses",
+			before.Misses, after.Misses)
+	}
+	if after.Hits == before.Hits {
+		t.Fatalf("steady-state passes never hit the arena (hits stuck at %d)", after.Hits)
+	}
+}
+
+// TestTapeSteadyStateZeroAlloc pins the tentpole number at the tape layer:
+// once warm, forward+backward+Reset runs without heap allocation.
+func TestTapeSteadyStateZeroAlloc(t *testing.T) {
+	old := mat.Parallelism()
+	mat.SetParallelism(1)
+	defer mat.SetParallelism(old)
+	params := reuseParams(9)
+	x := rng.New(11).Gaussian(5, 6, 1)
+	labels := []int{0, 1, 2, 3, 0}
+	tape := NewTape()
+	b := Bind(tape, params)
+	step := func() {
+		tape.Reset()
+		b.Rebind(tape, params)
+		tape.Backward(reuseForward(tape, b, x, labels))
+	}
+	for i := 0; i < 8; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(50, step); avg > 0 {
+		t.Fatalf("steady-state forward+backward+Reset allocates %.1f/op, want 0", avg)
+	}
+}
+
+// TestDetachSurvivesReset pins the escape hatch: a detached value must keep
+// its contents after the tape is recycled and its buffers are reused by a
+// different pass.
+func TestDetachSurvivesReset(t *testing.T) {
+	params := reuseParams(13)
+	x := rng.New(19).Gaussian(5, 6, 1)
+	tape := NewTape()
+	b := Bind(tape, params)
+	h := tape.ReLU(tape.MatMul(tape.Constant(x), b.Node("w1")))
+	kept := h.Detach()
+	want := append([]float64(nil), kept.Data()...)
+
+	// Churn the tape hard: the detached backing must never be handed out.
+	for i := 0; i < 30; i++ {
+		tape.Reset()
+		b.Rebind(tape, params)
+		tape.Backward(reuseForward(tape, b, x, []int{0, 1, 2, 3, 0}))
+	}
+	for i, v := range kept.Data() {
+		if math.Float64bits(v) != math.Float64bits(want[i]) {
+			t.Fatalf("detached value[%d] corrupted after Reset churn: %v != %v", i, v, want[i])
+		}
+	}
+
+	// CloneOut must copy, not alias: mutating the clone leaves the node
+	// untouched and vice versa.
+	tape.Reset()
+	b.Rebind(tape, params)
+	h = tape.ReLU(tape.MatMul(tape.Constant(x), b.Node("w1")))
+	clone := h.CloneOut()
+	clone.Set(0, 0, 12345)
+	if h.Value.At(0, 0) == 12345 {
+		t.Fatal("CloneOut aliases the node's backing")
+	}
+}
+
+// TestDetachOnLeafReturnsValue pins that detaching a parameter or constant
+// (caller-owned memory) is the identity, not a copy.
+func TestDetachOnLeafReturnsValue(t *testing.T) {
+	tape := NewTape()
+	x := mat.NewDense(2, 2)
+	n := tape.Constant(x)
+	if n.Detach() != x {
+		t.Fatal("Detach on a leaf should return the caller-owned matrix itself")
+	}
+}

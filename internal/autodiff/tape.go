@@ -7,6 +7,25 @@
 // The tape is rebuilt for every forward pass (define-by-run). Backward walks
 // the nodes in reverse insertion order, which is a valid topological order
 // because operations can only consume previously created nodes.
+//
+// # Memory model
+//
+// The tape owns a mat.Arena and recycles aggressively: Reset returns every
+// node struct to a free list and every tape-allocated Value/Grad backing
+// array to the arena, so a training step after warm-up runs at ~zero
+// steady-state allocations. The ownership rules (DESIGN.md §4.13):
+//
+//   - Param/Constant values are caller-owned; the tape never recycles them.
+//   - Every other node's Value and Grad die at Reset. Any reference held
+//     across Reset — including a Grads() map or a Node pointer — is invalid.
+//   - To keep a result past Reset, call Detach (zero-copy; pins the backing
+//     array so Reset skips it) or CloneOut (independent copy) first.
+//   - Gradients must be consumed (opt.Step, AccumulateGrads) before Reset.
+//
+// Backward dispatch is closure-free: each op stores a package-level back
+// function and keeps its state (parents, scalars, index slices) in Node
+// fields, because capturing closures allocate on every op while plain
+// function values do not.
 package autodiff
 
 import (
@@ -21,32 +40,153 @@ type Node struct {
 	Value *mat.Dense
 	Grad  *mat.Dense
 
-	tape    *Tape
-	back    func()
-	parents []*Node
-	needs   bool
+	tape     *Tape
+	back     func(*Node)
+	a, b     *Node   // the common one- and two-parent cases, inline
+	parents  []*Node // variadic parents (ConcatCols); capacity reused
+	needs    bool
+	external bool // Value is caller-owned (Param/Constant): never recycled
+	escaped  bool // Detach pinned the Value backing: survives Reset
+	hasAux   bool // ahdr holds a leased auxiliary buffer (released on Reset)
+
+	// Per-op state read by the static back functions.
+	scalar float64    // Scale factor, LeakyReLU slope, AddConst c, 1/n, wsum…
+	ints   []int      // node-owned scratch (MaxRows argmax); capacity reused
+	fls    []float64  // node-owned scratch (BCE sigmoids); capacity reused
+	idx    []int      // caller-owned indices or labels (Gather/Scatter/SCE)
+	w1, w2 []float64  // caller-owned weights/targets (SCE, BCE)
+	auxRef *mat.Dense // caller-owned matrix (Dropout mask, MSE target)
+	sparse *mat.CSR   // SpMM operator
+
+	// Inline headers backing Value, Grad and the auxiliary matrix when they
+	// are tape-owned; Remake retargets them at arena leases without
+	// allocating.
+	vhdr, ghdr, ahdr mat.Dense
 }
 
 // Dims returns the node's value dimensions.
 func (n *Node) Dims() (int, int) { return n.Value.Dims() }
 
-// Tape records operations for reverse-mode differentiation.
-type Tape struct {
-	nodes []*Node
+// Detach pins the node's value so it survives Reset and returns a header
+// for it. The backing array is shared (zero-copy) but permanently escapes
+// the arena: the tape will never recycle or overwrite it. For caller-owned
+// leaves (Param/Constant) the value is returned as is.
+func (n *Node) Detach() *mat.Dense {
+	if n.external {
+		return n.Value
+	}
+	n.escaped = true
+	r, c := n.Value.Dims()
+	// A fresh header, not &n.vhdr: the node struct itself is recycled at
+	// Reset and its inline header will be retargeted at other memory.
+	return mat.NewDenseData(r, c, n.Value.Data())
 }
 
-// NewTape creates an empty tape.
-func NewTape() *Tape { return &Tape{} }
+// CloneOut returns an independent copy of the node's value, safe to hold
+// across Reset without pinning arena memory.
+func (n *Node) CloneOut() *mat.Dense { return n.Value.Clone() }
 
-// Reset clears all recorded nodes so the tape can be reused.
-func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+// Tape records operations for reverse-mode differentiation and owns the
+// recycled memory behind them.
+type Tape struct {
+	nodes []*Node
+	free  []*Node // recycled node structs
+
+	arena   *mat.Arena
+	scratch mat.Dense // backward temporary header (single-threaded use)
+
+	// csrT caches sparse-operator transposes across passes: graph
+	// adjacencies recur every epoch, so the backward of SpMM hits this map
+	// instead of rebuilding the transpose. Bounded; cleared when full (the
+	// MAGNN path builds throwaway operators that must not pile up).
+	csrT map[*mat.CSR]*mat.CSR
+
+	resets int
+}
+
+// arenaTrimEvery is how many Resets pass between arena Trim epochs.
+const arenaTrimEvery = 1024
+
+// csrCacheMax bounds the transpose cache.
+const csrCacheMax = 512
+
+// NewTape creates an empty tape with its own arena.
+func NewTape() *Tape {
+	return &Tape{arena: mat.NewArena(0)}
+}
+
+// Reset recycles every recorded node: tape-owned Value/Grad backing arrays
+// return to the arena (parameters, constants and Detach-pinned values are
+// skipped) and the node structs go to the free list for the next pass.
+// Everything obtained from the tape — Node pointers, Grads() maps — is
+// invalid afterwards; see the package doc for the ownership rules.
+func (t *Tape) Reset() {
+	for _, n := range t.nodes {
+		if n.Grad != nil {
+			t.arena.Release(n.Grad.Data())
+			n.Grad = nil
+		}
+		if n.hasAux {
+			t.arena.Release(n.ahdr.Data())
+			n.hasAux = false
+		}
+		if !n.external && !n.escaped {
+			t.arena.Release(n.Value.Data())
+		}
+		n.Value = nil
+		n.external, n.escaped, n.needs = false, false, false
+		n.back = nil
+		n.a, n.b = nil, nil
+		n.parents = n.parents[:0]
+		n.scalar = 0
+		n.idx, n.w1, n.w2 = nil, nil, nil
+		n.auxRef = nil
+		n.sparse = nil
+		t.free = append(t.free, n)
+	}
+	t.nodes = t.nodes[:0]
+	t.resets++
+	if t.resets%arenaTrimEvery == 0 {
+		t.arena.Trim()
+	}
+}
+
+// ArenaStats exposes the tape arena's counters (tests and telemetry).
+func (t *Tape) ArenaStats() mat.ArenaStats { return t.arena.Stats() }
 
 // Len reports the number of recorded nodes.
 func (t *Tape) Len() int { return len(t.nodes) }
 
-// node registers a new tape node.
-func (t *Tape) node(val *mat.Dense, needs bool, parents []*Node, back func()) *Node {
-	n := &Node{Value: val, tape: t, back: back, parents: parents, needs: needs}
+// alloc takes a node struct from the free list or the heap.
+func (t *Tape) alloc() *Node {
+	if k := len(t.free); k > 0 {
+		n := t.free[k-1]
+		t.free = t.free[:k-1]
+		return n
+	}
+	return &Node{}
+}
+
+// leaf registers a caller-owned value (parameter or constant).
+func (t *Tape) leaf(v *mat.Dense, needs bool) *Node {
+	n := t.alloc()
+	n.tape = t
+	n.needs = needs
+	n.external = true
+	n.Value = v
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// op registers an operation node whose r×c value is a zeroed arena lease
+// (the same semantics mat.NewDense gave the pre-arena tape).
+func (t *Tape) op(r, c int, needs bool, back func(*Node)) *Node {
+	n := t.alloc()
+	n.tape = t
+	n.needs = needs
+	n.back = back
+	n.vhdr.Remake(r, c, t.arena.Lease(r*c))
+	n.Value = &n.vhdr
 	t.nodes = append(t.nodes, n)
 	return n
 }
@@ -64,19 +204,22 @@ func anyNeeds(parents ...*Node) bool {
 // Param registers a trainable parameter. Its gradient is allocated lazily on
 // the first backward pass that touches it.
 func (t *Tape) Param(v *mat.Dense) *Node {
-	return t.node(v, true, nil, nil)
+	return t.leaf(v, true)
 }
 
 // Constant registers a value that requires no gradient.
 func (t *Tape) Constant(v *mat.Dense) *Node {
-	return t.node(v, false, nil, nil)
+	return t.leaf(v, false)
 }
 
-// ensureGrad allocates n.Grad if missing.
+// ensureGrad leases n.Grad (zeroed) if missing. Reset returns the buffer to
+// the arena, so across steps the same backing arrays cycle between the grad
+// headers instead of being reallocated.
 func ensureGrad(n *Node) {
 	if n.Grad == nil {
 		r, c := n.Value.Dims()
-		n.Grad = mat.NewDense(r, c)
+		n.ghdr.Remake(r, c, n.tape.arena.Lease(r*c))
+		n.Grad = &n.ghdr
 	}
 }
 
@@ -92,90 +235,132 @@ func (t *Tape) Backward(loss *Node) {
 	for i := len(t.nodes) - 1; i >= 0; i-- {
 		n := t.nodes[i]
 		if n.back != nil && n.needs && n.Grad != nil {
-			n.back()
+			n.back(n)
 		}
 	}
+}
+
+// csrTranspose returns the cached transpose of s, building it on first use.
+func (t *Tape) csrTranspose(s *mat.CSR) *mat.CSR {
+	if t.csrT == nil {
+		t.csrT = make(map[*mat.CSR]*mat.CSR)
+	}
+	if st, ok := t.csrT[s]; ok {
+		return st
+	}
+	if len(t.csrT) >= csrCacheMax {
+		clear(t.csrT)
+	}
+	st := s.T()
+	t.csrT[s] = st
+	return st
 }
 
 // --- Core operations -------------------------------------------------------
 
 // MatMul returns a·b.
 func (t *Tape) MatMul(a, b *Node) *Node {
-	val := mat.Mul(a.Value, b.Value)
-	needs := anyNeeds(a, b)
-	var out *Node
-	out = t.node(val, needs, []*Node{a, b}, func() {
-		if a.needs {
-			ensureGrad(a)
-			// dA += dOut · Bᵀ
-			tmp := mat.NewDense(a.Value.Rows(), a.Value.Cols())
-			mat.MulBTTo(tmp, out.Grad, b.Value)
-			a.Grad.AddScaled(tmp, 1)
-		}
-		if b.needs {
-			ensureGrad(b)
-			// dB += Aᵀ · dOut
-			tmp := mat.NewDense(b.Value.Rows(), b.Value.Cols())
-			mat.MulTTo(tmp, a.Value, out.Grad)
-			b.Grad.AddScaled(tmp, 1)
-		}
-	})
+	out := t.op(a.Value.Rows(), b.Value.Cols(), anyNeeds(a, b), backMatMul)
+	out.a, out.b = a, b
+	mat.MulTo(out.Value, a.Value, b.Value)
 	return out
+}
+
+func backMatMul(out *Node) {
+	a, b, t := out.a, out.b, out.tape
+	if a.needs {
+		ensureGrad(a)
+		// dA += dOut · Bᵀ
+		r, c := a.Value.Dims()
+		buf := t.arena.Lease(r * c)
+		t.scratch.Remake(r, c, buf)
+		mat.MulBTTo(&t.scratch, out.Grad, b.Value)
+		a.Grad.AddScaled(&t.scratch, 1)
+		t.arena.Release(buf)
+	}
+	if b.needs {
+		ensureGrad(b)
+		// dB += Aᵀ · dOut
+		r, c := b.Value.Dims()
+		buf := t.arena.Lease(r * c)
+		t.scratch.Remake(r, c, buf)
+		mat.MulTTo(&t.scratch, a.Value, out.Grad)
+		b.Grad.AddScaled(&t.scratch, 1)
+		t.arena.Release(buf)
+	}
 }
 
 // SpMM returns s·b for a constant sparse operator s (e.g. normalised graph
 // adjacency). No gradient flows into s.
 func (t *Tape) SpMM(s *mat.CSR, b *Node) *Node {
-	val := mat.SpMM(s, b.Value)
-	needs := b.needs
-	var st *mat.CSR
-	var out *Node
-	out = t.node(val, needs, []*Node{b}, func() {
-		if !b.needs {
-			return
-		}
-		ensureGrad(b)
-		if st == nil {
-			st = s.T()
-		}
-		tmp := mat.SpMM(st, out.Grad)
-		b.Grad.AddScaled(tmp, 1)
-	})
+	r, _ := s.Dims()
+	_, c := b.Value.Dims()
+	out := t.op(r, c, b.needs, backSpMM)
+	out.a = b
+	out.sparse = s
+	mat.SpMMTo(out.Value, s, b.Value)
 	return out
+}
+
+func backSpMM(out *Node) {
+	b, t := out.a, out.tape
+	if !b.needs {
+		return
+	}
+	ensureGrad(b)
+	st := t.csrTranspose(out.sparse)
+	r, c := b.Value.Dims()
+	buf := t.arena.Lease(r * c)
+	t.scratch.Remake(r, c, buf)
+	mat.SpMMTo(&t.scratch, st, out.Grad)
+	b.Grad.AddScaled(&t.scratch, 1)
+	t.arena.Release(buf)
 }
 
 // Add returns a+b (same shape).
 func (t *Tape) Add(a, b *Node) *Node {
-	val := mat.AddM(a.Value, b.Value)
-	var out *Node
-	out = t.node(val, anyNeeds(a, b), []*Node{a, b}, func() {
-		if a.needs {
-			ensureGrad(a)
-			a.Grad.AddScaled(out.Grad, 1)
-		}
-		if b.needs {
-			ensureGrad(b)
-			b.Grad.AddScaled(out.Grad, 1)
-		}
-	})
+	r, c := a.Value.Dims()
+	out := t.op(r, c, anyNeeds(a, b), backAdd)
+	out.a, out.b = a, b
+	od, ad, bd := out.Value.Data(), a.Value.Data(), b.Value.Data()
+	for i := range od {
+		od[i] = ad[i] + bd[i]
+	}
 	return out
+}
+
+func backAdd(out *Node) {
+	if out.a.needs {
+		ensureGrad(out.a)
+		out.a.Grad.AddScaled(out.Grad, 1)
+	}
+	if out.b.needs {
+		ensureGrad(out.b)
+		out.b.Grad.AddScaled(out.Grad, 1)
+	}
 }
 
 // Sub returns a−b.
 func (t *Tape) Sub(a, b *Node) *Node {
-	val := mat.SubM(a.Value, b.Value)
-	var out *Node
-	out = t.node(val, anyNeeds(a, b), []*Node{a, b}, func() {
-		if a.needs {
-			ensureGrad(a)
-			a.Grad.AddScaled(out.Grad, 1)
-		}
-		if b.needs {
-			ensureGrad(b)
-			b.Grad.AddScaled(out.Grad, -1)
-		}
-	})
+	r, c := a.Value.Dims()
+	out := t.op(r, c, anyNeeds(a, b), backSub)
+	out.a, out.b = a, b
+	od, ad, bd := out.Value.Data(), a.Value.Data(), b.Value.Data()
+	for i := range od {
+		od[i] = ad[i] - bd[i]
+	}
 	return out
+}
+
+func backSub(out *Node) {
+	if out.a.needs {
+		ensureGrad(out.a)
+		out.a.Grad.AddScaled(out.Grad, 1)
+	}
+	if out.b.needs {
+		ensureGrad(out.b)
+		out.b.Grad.AddScaled(out.Grad, -1)
+	}
 }
 
 // AddRowBroadcast adds a 1×c bias row to every row of a (n×c).
@@ -185,164 +370,232 @@ func (t *Tape) AddRowBroadcast(a, bias *Node) *Node {
 	if br != 1 || bc != c {
 		panic(fmt.Sprintf("autodiff: AddRowBroadcast bias %dx%d for %dx%d", br, bc, n, c))
 	}
-	val := a.Value.Clone()
+	out := t.op(n, c, anyNeeds(a, bias), backAddRowBroadcast)
+	out.a, out.b = a, bias
+	copy(out.Value.Data(), a.Value.Data())
 	for i := 0; i < n; i++ {
-		mat.Axpy(val.Row(i), bias.Value.Row(0), 1)
+		mat.Axpy(out.Value.Row(i), bias.Value.Row(0), 1)
 	}
-	var out *Node
-	out = t.node(val, anyNeeds(a, bias), []*Node{a, bias}, func() {
-		if a.needs {
-			ensureGrad(a)
-			a.Grad.AddScaled(out.Grad, 1)
-		}
-		if bias.needs {
-			ensureGrad(bias)
-			g := bias.Grad.Row(0)
-			for i := 0; i < n; i++ {
-				mat.Axpy(g, out.Grad.Row(i), 1)
-			}
-		}
-	})
 	return out
+}
+
+func backAddRowBroadcast(out *Node) {
+	a, bias := out.a, out.b
+	n, _ := a.Value.Dims()
+	if a.needs {
+		ensureGrad(a)
+		a.Grad.AddScaled(out.Grad, 1)
+	}
+	if bias.needs {
+		ensureGrad(bias)
+		g := bias.Grad.Row(0)
+		for i := 0; i < n; i++ {
+			mat.Axpy(g, out.Grad.Row(i), 1)
+		}
+	}
 }
 
 // Hadamard returns the element-wise product a⊙b.
 func (t *Tape) Hadamard(a, b *Node) *Node {
-	val := mat.Hadamard(a.Value, b.Value)
-	var out *Node
-	out = t.node(val, anyNeeds(a, b), []*Node{a, b}, func() {
-		if a.needs {
-			ensureGrad(a)
-			a.Grad.AddScaled(mat.Hadamard(out.Grad, b.Value), 1)
-		}
-		if b.needs {
-			ensureGrad(b)
-			b.Grad.AddScaled(mat.Hadamard(out.Grad, a.Value), 1)
-		}
-	})
+	r, c := a.Value.Dims()
+	out := t.op(r, c, anyNeeds(a, b), backHadamard)
+	out.a, out.b = a, b
+	od, ad, bd := out.Value.Data(), a.Value.Data(), b.Value.Data()
+	for i := range od {
+		od[i] = ad[i] * bd[i]
+	}
 	return out
+}
+
+func backHadamard(out *Node) {
+	a, b := out.a, out.b
+	og := out.Grad.Data()
+	if a.needs {
+		ensureGrad(a)
+		ad, bv := a.Grad.Data(), b.Value.Data()
+		for i := range ad {
+			ad[i] += og[i] * bv[i]
+		}
+	}
+	if b.needs {
+		ensureGrad(b)
+		bd, av := b.Grad.Data(), a.Value.Data()
+		for i := range bd {
+			bd[i] += og[i] * av[i]
+		}
+	}
 }
 
 // Scale returns s*a for a constant scalar s.
 func (t *Tape) Scale(a *Node, s float64) *Node {
-	val := a.Value.Clone().Scale(s)
-	var out *Node
-	out = t.node(val, a.needs, []*Node{a}, func() {
-		if a.needs {
-			ensureGrad(a)
-			a.Grad.AddScaled(out.Grad, s)
-		}
-	})
+	r, c := a.Value.Dims()
+	out := t.op(r, c, a.needs, backScale)
+	out.a = a
+	out.scalar = s
+	od, ad := out.Value.Data(), a.Value.Data()
+	for i := range od {
+		od[i] = ad[i] * s
+	}
 	return out
 }
 
-// unary applies f element-wise with derivative df(input value, output value).
-func (t *Tape) unary(a *Node, f func(float64) float64, df func(x, y float64) float64) *Node {
-	val := a.Value.Clone().Apply(f)
-	var out *Node
-	out = t.node(val, a.needs, []*Node{a}, func() {
-		if !a.needs {
-			return
-		}
-		ensureGrad(a)
-		ad, vd, gd, od := a.Grad.Data(), a.Value.Data(), out.Grad.Data(), out.Value.Data()
-		for i := range ad {
-			ad[i] += gd[i] * df(vd[i], od[i])
-		}
-	})
+func backScale(out *Node) {
+	if out.a.needs {
+		ensureGrad(out.a)
+		out.a.Grad.AddScaled(out.Grad, out.scalar)
+	}
+}
+
+// unary applies a static element-wise f with a static back function.
+func (t *Tape) unary(a *Node, f func(float64) float64, back func(*Node)) *Node {
+	r, c := a.Value.Dims()
+	out := t.op(r, c, a.needs, back)
+	out.a = a
+	copy(out.Value.Data(), a.Value.Data())
+	out.Value.Apply(f)
 	return out
 }
 
 // ReLU applies max(0,x) element-wise.
-func (t *Tape) ReLU(a *Node) *Node {
-	return t.unary(a,
-		func(x float64) float64 {
-			if x > 0 {
-				return x
-			}
-			return 0
-		},
-		func(x, _ float64) float64 {
-			if x > 0 {
-				return 1
-			}
-			return 0
-		})
+func (t *Tape) ReLU(a *Node) *Node { return t.unary(a, reluF, backReLU) }
+
+func reluF(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+func backReLU(out *Node) {
+	a := out.a
+	if !a.needs {
+		return
+	}
+	ensureGrad(a)
+	ad, vd, gd := a.Grad.Data(), a.Value.Data(), out.Grad.Data()
+	for i := range ad {
+		d := 0.0
+		if vd[i] > 0 {
+			d = 1
+		}
+		ad[i] += gd[i] * d
+	}
 }
 
 // LeakyReLU applies x>0 ? x : slope*x element-wise.
 func (t *Tape) LeakyReLU(a *Node, slope float64) *Node {
-	return t.unary(a,
-		func(x float64) float64 {
-			if x > 0 {
-				return x
-			}
-			return slope * x
-		},
-		func(x, _ float64) float64 {
-			if x > 0 {
-				return 1
-			}
-			return slope
-		})
+	r, c := a.Value.Dims()
+	out := t.op(r, c, a.needs, backLeakyReLU)
+	out.a = a
+	out.scalar = slope
+	od, ad := out.Value.Data(), a.Value.Data()
+	for i, x := range ad {
+		if x > 0 {
+			od[i] = x
+		} else {
+			od[i] = slope * x
+		}
+	}
+	return out
+}
+
+func backLeakyReLU(out *Node) {
+	a := out.a
+	if !a.needs {
+		return
+	}
+	ensureGrad(a)
+	slope := out.scalar
+	ad, vd, gd := a.Grad.Data(), a.Value.Data(), out.Grad.Data()
+	for i := range ad {
+		d := slope
+		if vd[i] > 0 {
+			d = 1
+		}
+		ad[i] += gd[i] * d
+	}
 }
 
 // Sigmoid applies the logistic function element-wise.
-func (t *Tape) Sigmoid(a *Node) *Node {
-	return t.unary(a,
-		mat.Sigmoid,
-		func(_, y float64) float64 { return y * (1 - y) })
+func (t *Tape) Sigmoid(a *Node) *Node { return t.unary(a, mat.Sigmoid, backSigmoid) }
+
+func backSigmoid(out *Node) {
+	a := out.a
+	if !a.needs {
+		return
+	}
+	ensureGrad(a)
+	ad, gd, od := a.Grad.Data(), out.Grad.Data(), out.Value.Data()
+	for i := range ad {
+		ad[i] += gd[i] * (od[i] * (1 - od[i]))
+	}
 }
 
 // Tanh applies tanh element-wise.
-func (t *Tape) Tanh(a *Node) *Node {
-	return t.unary(a,
-		math.Tanh,
-		func(_, y float64) float64 { return 1 - y*y })
+func (t *Tape) Tanh(a *Node) *Node { return t.unary(a, math.Tanh, backTanh) }
+
+func backTanh(out *Node) {
+	a := out.a
+	if !a.needs {
+		return
+	}
+	ensureGrad(a)
+	ad, gd, od := a.Grad.Data(), out.Grad.Data(), out.Value.Data()
+	for i := range ad {
+		ad[i] += gd[i] * (1 - od[i]*od[i])
+	}
 }
 
 // MeanRows returns the 1×c column-mean of an n×c node (graph mean readout).
 func (t *Tape) MeanRows(a *Node) *Node {
 	n, c := a.Value.Dims()
-	val := mat.NewDense(1, c)
+	out := t.op(1, c, a.needs, backMeanRows)
+	out.a = a
+	inv := 1 / float64(n)
+	out.scalar = inv
 	for i := 0; i < n; i++ {
-		mat.Axpy(val.Row(0), a.Value.Row(i), 1/float64(n))
+		mat.Axpy(out.Value.Row(0), a.Value.Row(i), inv)
 	}
-	var out *Node
-	out = t.node(val, a.needs, []*Node{a}, func() {
-		if !a.needs {
-			return
-		}
-		ensureGrad(a)
-		g := out.Grad.Row(0)
-		inv := 1 / float64(n)
-		for i := 0; i < n; i++ {
-			mat.Axpy(a.Grad.Row(i), g, inv)
-		}
-	})
 	return out
+}
+
+func backMeanRows(out *Node) {
+	a := out.a
+	if !a.needs {
+		return
+	}
+	ensureGrad(a)
+	n, _ := a.Value.Dims()
+	g := out.Grad.Row(0)
+	inv := out.scalar
+	for i := 0; i < n; i++ {
+		mat.Axpy(a.Grad.Row(i), g, inv)
+	}
 }
 
 // SumRows returns the 1×c column-sum of an n×c node (graph sum readout, as
 // used by GIN).
 func (t *Tape) SumRows(a *Node) *Node {
 	n, c := a.Value.Dims()
-	val := mat.NewDense(1, c)
+	out := t.op(1, c, a.needs, backSumRows)
+	out.a = a
 	for i := 0; i < n; i++ {
-		mat.Axpy(val.Row(0), a.Value.Row(i), 1)
+		mat.Axpy(out.Value.Row(0), a.Value.Row(i), 1)
 	}
-	var out *Node
-	out = t.node(val, a.needs, []*Node{a}, func() {
-		if !a.needs {
-			return
-		}
-		ensureGrad(a)
-		g := out.Grad.Row(0)
-		for i := 0; i < n; i++ {
-			mat.Axpy(a.Grad.Row(i), g, 1)
-		}
-	})
 	return out
+}
+
+func backSumRows(out *Node) {
+	a := out.a
+	if !a.needs {
+		return
+	}
+	ensureGrad(a)
+	n, _ := a.Value.Dims()
+	g := out.Grad.Row(0)
+	for i := 0; i < n; i++ {
+		mat.Axpy(a.Grad.Row(i), g, 1)
+	}
 }
 
 // MaxRows returns the 1×c column-wise maximum of an n×c node; the gradient
@@ -350,8 +603,12 @@ func (t *Tape) SumRows(a *Node) *Node {
 // this pattern exists" signals that mean pooling dilutes on large graphs.
 func (t *Tape) MaxRows(a *Node) *Node {
 	n, c := a.Value.Dims()
-	val := mat.NewDense(1, c)
-	arg := make([]int, c)
+	out := t.op(1, c, a.needs, backMaxRows)
+	out.a = a
+	if cap(out.ints) < c {
+		out.ints = make([]int, c)
+	}
+	out.ints = out.ints[:c]
 	for j := 0; j < c; j++ {
 		best := a.Value.At(0, j)
 		bi := 0
@@ -360,20 +617,21 @@ func (t *Tape) MaxRows(a *Node) *Node {
 				best, bi = v, i
 			}
 		}
-		val.Set(0, j, best)
-		arg[j] = bi
+		out.Value.Set(0, j, best)
+		out.ints[j] = bi
 	}
-	var out *Node
-	out = t.node(val, a.needs, []*Node{a}, func() {
-		if !a.needs {
-			return
-		}
-		ensureGrad(a)
-		for j := 0; j < c; j++ {
-			a.Grad.Add(arg[j], j, out.Grad.At(0, j))
-		}
-	})
 	return out
+}
+
+func backMaxRows(out *Node) {
+	a := out.a
+	if !a.needs {
+		return
+	}
+	ensureGrad(a)
+	for j, bi := range out.ints {
+		a.Grad.Add(bi, j, out.Grad.At(0, j))
+	}
 }
 
 // ConcatCols concatenates nodes horizontally (same row count).
@@ -387,93 +645,116 @@ func (t *Tape) ConcatCols(parts ...*Node) *Node {
 		}
 		total += c
 	}
-	val := mat.NewDense(rows, total)
+	out := t.op(rows, total, anyNeeds(parts...), backConcatCols)
+	out.parents = append(out.parents[:0], parts...)
 	off := 0
 	for _, p := range parts {
 		_, c := p.Value.Dims()
 		for i := 0; i < rows; i++ {
-			copy(val.Row(i)[off:off+c], p.Value.Row(i))
+			copy(out.Value.Row(i)[off:off+c], p.Value.Row(i))
 		}
 		off += c
 	}
-	var out *Node
-	out = t.node(val, anyNeeds(parts...), parts, func() {
-		off := 0
-		for _, p := range parts {
-			_, c := p.Value.Dims()
-			if p.needs {
-				ensureGrad(p)
-				for i := 0; i < rows; i++ {
-					mat.Axpy(p.Grad.Row(i), out.Grad.Row(i)[off:off+c], 1)
-				}
-			}
-			off += c
-		}
-	})
 	return out
 }
 
-// GatherRows selects rows idx from a into a new len(idx)×c node.
+func backConcatCols(out *Node) {
+	rows, _ := out.Value.Dims()
+	off := 0
+	for _, p := range out.parents {
+		_, c := p.Value.Dims()
+		if p.needs {
+			ensureGrad(p)
+			for i := 0; i < rows; i++ {
+				mat.Axpy(p.Grad.Row(i), out.Grad.Row(i)[off:off+c], 1)
+			}
+		}
+		off += c
+	}
+}
+
+// GatherRows selects rows idx from a into a new len(idx)×c node. idx is
+// caller-owned and must stay valid until Reset.
 func (t *Tape) GatherRows(a *Node, idx []int) *Node {
 	_, c := a.Value.Dims()
-	val := mat.NewDense(len(idx), c)
+	out := t.op(len(idx), c, a.needs, backGatherRows)
+	out.a = a
+	out.idx = idx
 	for i, r := range idx {
-		copy(val.Row(i), a.Value.Row(r))
+		copy(out.Value.Row(i), a.Value.Row(r))
 	}
-	var out *Node
-	out = t.node(val, a.needs, []*Node{a}, func() {
-		if !a.needs {
-			return
-		}
-		ensureGrad(a)
-		for i, r := range idx {
-			mat.Axpy(a.Grad.Row(r), out.Grad.Row(i), 1)
-		}
-	})
 	return out
+}
+
+func backGatherRows(out *Node) {
+	a := out.a
+	if !a.needs {
+		return
+	}
+	ensureGrad(a)
+	for i, r := range out.idx {
+		mat.Axpy(a.Grad.Row(r), out.Grad.Row(i), 1)
+	}
 }
 
 // ScatterRows builds an n×c node whose rows at idx come from a (len(idx)×c)
 // and whose other rows are zero — the inverse of GatherRows, used to merge
-// per-type projections in heterogeneous GNNs.
+// per-type projections in heterogeneous GNNs. idx is caller-owned and must
+// stay valid until Reset.
 func (t *Tape) ScatterRows(a *Node, idx []int, n int) *Node {
 	ar, c := a.Value.Dims()
 	if ar != len(idx) {
 		panic(fmt.Sprintf("autodiff: ScatterRows %d rows with %d indices", ar, len(idx)))
 	}
-	val := mat.NewDense(n, c)
+	out := t.op(n, c, a.needs, backScatterRows)
+	out.a = a
+	out.idx = idx
 	for i, r := range idx {
-		copy(val.Row(r), a.Value.Row(i))
+		copy(out.Value.Row(r), a.Value.Row(i))
 	}
-	var out *Node
-	out = t.node(val, a.needs, []*Node{a}, func() {
-		if !a.needs {
-			return
-		}
-		ensureGrad(a)
-		for i, r := range idx {
-			mat.Axpy(a.Grad.Row(i), out.Grad.Row(r), 1)
-		}
-	})
 	return out
 }
 
+func backScatterRows(out *Node) {
+	a := out.a
+	if !a.needs {
+		return
+	}
+	ensureGrad(a)
+	for i, r := range out.idx {
+		mat.Axpy(a.Grad.Row(i), out.Grad.Row(r), 1)
+	}
+}
+
 // Dropout zeroes elements with probability p during training, scaling the
-// survivors by 1/(1-p). mask is sampled by the caller for determinism.
+// survivors by 1/(1-p). mask is sampled by the caller for determinism and
+// must stay valid until Reset.
 func (t *Tape) Dropout(a *Node, mask *mat.Dense, p float64) *Node {
 	if p <= 0 {
 		return a
 	}
-	scale := 1 / (1 - p)
-	val := mat.Hadamard(a.Value, mask).Scale(scale)
-	var out *Node
-	out = t.node(val, a.needs, []*Node{a}, func() {
-		if !a.needs {
-			return
-		}
-		ensureGrad(a)
-		g := mat.Hadamard(out.Grad, mask).Scale(scale)
-		a.Grad.AddScaled(g, 1)
-	})
+	r, c := a.Value.Dims()
+	out := t.op(r, c, a.needs, backDropout)
+	out.a = a
+	out.auxRef = mask
+	out.scalar = 1 / (1 - p)
+	scale := out.scalar
+	od, ad, md := out.Value.Data(), a.Value.Data(), mask.Data()
+	for i := range od {
+		od[i] = ad[i] * md[i] * scale
+	}
 	return out
+}
+
+func backDropout(out *Node) {
+	a := out.a
+	if !a.needs {
+		return
+	}
+	ensureGrad(a)
+	scale := out.scalar
+	ad, gd, md := a.Grad.Data(), out.Grad.Data(), out.auxRef.Data()
+	for i := range ad {
+		ad[i] += gd[i] * md[i] * scale
+	}
 }

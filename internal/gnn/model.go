@@ -10,7 +10,6 @@ package gnn
 import (
 	"fexiot/internal/autodiff"
 	"fexiot/internal/graph"
-	"fexiot/internal/mat"
 )
 
 // Model is a graph representation learner. Implementations must register
@@ -26,23 +25,4 @@ type Model interface {
 	// Fresh returns a new model with the same architecture and
 	// independently initialised weights (used to spawn FL clients).
 	Fresh(seed int64) Model
-}
-
-// Embed runs inference and returns the embedding as a plain vector.
-func Embed(m Model, g *graph.Graph) []float64 {
-	t := autodiff.NewTape()
-	b := autodiff.Bind(t, m.Params())
-	out := m.Forward(t, b, g)
-	return append([]float64(nil), out.Value.Row(0)...)
-}
-
-// EmbedAll embeds a batch of graphs, fanning the independent forward
-// passes out over the shared mat worker bound (inference reads the params
-// and the mutex-guarded graph caches only, so passes are independent).
-func EmbedAll(m Model, gs []*graph.Graph) [][]float64 {
-	out := make([][]float64, len(gs))
-	mat.ParallelFor(len(gs), func(i int) {
-		out[i] = Embed(m, gs[i])
-	})
-	return out
 }

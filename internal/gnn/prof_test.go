@@ -14,6 +14,7 @@ func BenchmarkTrainContrastive(b *testing.B) {
 	cfg := DefaultTrainConfig(11)
 	cfg.PairsPerEpoch = 50
 	opt := autodiff.NewAdam(0.005)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)

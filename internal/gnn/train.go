@@ -133,6 +133,33 @@ func TrainContrastive(m Model, graphs []*graph.Graph, cfg TrainConfig, opt *auto
 		return graphs[pool[i]], graphs[pool[j]], false
 	}
 
+	// One tape and binder serve the whole round: Reset+Rebind per pair
+	// recycles every node and buffer, so the steady-state loop allocates
+	// nothing. Gradients accumulate into persistent buffers (acc) with a
+	// per-batch view restricted to the parameters actually touched this
+	// batch — Adam must only see touched names, exactly as the seed's
+	// per-batch map gave it (MAGNN legitimately skips a projection when a
+	// graph has no nodes of that space).
+	tape := autodiff.NewTape()
+	binder := autodiff.Bind(tape, m.Params())
+	acc := map[string]*mat.Dense{}
+	grads := map[string]*mat.Dense{}
+	accumulate := func(name string, g *mat.Dense) {
+		buf := grads[name]
+		if buf == nil {
+			if buf = acc[name]; buf == nil {
+				r, c := g.Dims()
+				buf = mat.NewDense(r, c)
+				acc[name] = buf
+			} else {
+				buf.Zero()
+			}
+			grads[name] = buf
+		}
+		// Zero+AddScaled(g,1) ≡ the seed's Clone on first touch;
+		// AddScaled on later touches matches exactly.
+		buf.AddScaled(g, 1)
+	}
 	for e := 0; e < cfg.Epochs; e++ {
 		remaining := cfg.PairsPerEpoch
 		for remaining > 0 {
@@ -141,19 +168,19 @@ func TrainContrastive(m Model, graphs []*graph.Graph, cfg TrainConfig, opt *auto
 				batch = remaining
 			}
 			remaining -= batch
-			grads := map[string]*mat.Dense{}
+			clear(grads)
 			batchLoss := 0.0
 			for k := 0; k < batch; k++ {
 				ga, gb, diff := samplePair()
-				tape := autodiff.NewTape()
-				binder := autodiff.Bind(tape, m.Params())
+				tape.Reset()
+				binder.Rebind(tape, m.Params())
 				za := m.Forward(tape, binder, ga)
 				zb := m.Forward(tape, binder, gb)
 				loss := tape.ContrastiveLoss(za, zb, diff, cfg.Margin)
 				loss = tape.Scale(loss, 1/float64(batch))
 				batchLoss += loss.Value.At(0, 0)
 				tape.Backward(loss)
-				binder.AccumulateGrads(grads)
+				binder.EachGrad(accumulate)
 			}
 			// Divergence gate: a NaN/Inf loss or gradient, or a loss
 			// blow-up past the configured factor, means this round is
@@ -210,6 +237,10 @@ func TrainSupervised(m Model, head *SupervisedHead, graphs []*graph.Graph,
 		return
 	}
 	r := rng.New(cfg.Seed)
+	tape := autodiff.NewTape()
+	binder := autodiff.Bind(tape, m.Params())
+	hb := autodiff.Bind(tape, head.params)
+	lab := make([]int, 1)
 	for e := 0; e < cfg.Epochs; e++ {
 		remaining := cfg.PairsPerEpoch
 		for remaining > 0 {
@@ -222,16 +253,16 @@ func TrainSupervised(m Model, head *SupervisedHead, graphs []*graph.Graph,
 			headGrads := map[string]*mat.Dense{}
 			for k := 0; k < batch; k++ {
 				g := graphs[r.Intn(len(graphs))]
-				label := 0
+				lab[0] = 0
 				if g.Label {
-					label = 1
+					lab[0] = 1
 				}
-				tape := autodiff.NewTape()
-				binder := autodiff.Bind(tape, m.Params())
-				hb := autodiff.Bind(tape, head.params)
+				tape.Reset()
+				binder.Rebind(tape, m.Params())
+				hb.Rebind(tape, head.params)
 				z := m.Forward(tape, binder, g)
 				logits := tape.AddRowBroadcast(tape.MatMul(z, hb.Node("head.w")), hb.Node("head.b"))
-				loss := tape.SoftmaxCrossEntropy(logits, []int{label}, classWeights)
+				loss := tape.SoftmaxCrossEntropy(logits, lab, classWeights)
 				loss = tape.Scale(loss, 1/float64(batch))
 				tape.Backward(loss)
 				binder.AccumulateGrads(grads)

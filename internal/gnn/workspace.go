@@ -1,0 +1,66 @@
+package gnn
+
+import (
+	"sync"
+
+	"fexiot/internal/autodiff"
+	"fexiot/internal/graph"
+	"fexiot/internal/mat"
+)
+
+// Workspace is the reusable inference scratch of one goroutine: a tape
+// (with its arena of recycled buffers), a binder, and an embedding output
+// slice. A long-lived worker — a serve.Engine worker, a stream refusion
+// loop — holds one Workspace so its forward passes stop allocating;
+// transient callers borrow one from the package pool via Embed/EmbedAll.
+//
+// A Workspace is NOT safe for concurrent use.
+type Workspace struct {
+	tape   *autodiff.Tape
+	binder *autodiff.Binder
+	emb    []float64
+}
+
+// NewWorkspace creates an inference workspace.
+func NewWorkspace() *Workspace {
+	t := autodiff.NewTape()
+	return &Workspace{tape: t, binder: autodiff.Bind(t, nil)}
+}
+
+// Embed runs one forward pass and returns the graph embedding. The returned
+// slice is workspace-owned and valid only until the next Embed call on this
+// workspace; callers that retain it must copy.
+func (ws *Workspace) Embed(m Model, g *graph.Graph) []float64 {
+	ws.tape.Reset()
+	ws.binder.Rebind(ws.tape, m.Params())
+	out := m.Forward(ws.tape, ws.binder, g)
+	ws.emb = append(ws.emb[:0], out.Value.Row(0)...)
+	return ws.emb
+}
+
+// ArenaStats exposes the workspace tape's arena counters (tests).
+func (ws *Workspace) ArenaStats() mat.ArenaStats { return ws.tape.ArenaStats() }
+
+// wsPool recycles workspaces for callers without a long-lived one. Entries
+// are pointers, so Get/Put do not allocate on the steady state.
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// Embed runs inference and returns the embedding as a caller-owned vector.
+func Embed(m Model, g *graph.Graph) []float64 {
+	ws := wsPool.Get().(*Workspace)
+	out := append([]float64(nil), ws.Embed(m, g)...)
+	wsPool.Put(ws)
+	return out
+}
+
+// EmbedAll embeds a batch of graphs, fanning the independent forward
+// passes out over the shared mat worker bound (inference reads the params
+// and the mutex-guarded graph caches only, so passes are independent). Each
+// goroutine borrows its own pooled workspace.
+func EmbedAll(m Model, gs []*graph.Graph) [][]float64 {
+	out := make([][]float64, len(gs))
+	mat.ParallelFor(len(gs), func(i int) {
+		out[i] = Embed(m, gs[i])
+	})
+	return out
+}

@@ -1,0 +1,11 @@
+//go:build !debugarena
+
+package mat
+
+// poison is a no-op in normal builds; build with -tags=debugarena to fill
+// released buffers with NaN so use-after-recycle reads are caught loudly.
+func poison([]float64) {}
+
+// ArenaPoisonEnabled reports whether the debugarena NaN-poison build is
+// active.
+const ArenaPoisonEnabled = false

@@ -1,0 +1,21 @@
+//go:build debugarena
+
+package mat
+
+import "math"
+
+// poison fills a released buffer with NaN. Any computation that reads the
+// buffer after its Release — a use-after-recycle bug in tape or workspace
+// code — then propagates NaN into its result, where CheckFinite, the
+// divergence gates, and the debugarena tests catch it. Lease still zeroes,
+// so correctly re-leased memory never observes the poison.
+func poison(buf []float64) {
+	nan := math.NaN()
+	for i := range buf {
+		buf[i] = nan
+	}
+}
+
+// ArenaPoisonEnabled reports whether the debugarena NaN-poison build is
+// active.
+const ArenaPoisonEnabled = true

@@ -110,6 +110,15 @@ func (m *Dense) T() *Dense {
 
 // Scale multiplies every element by s in place and returns m.
 func (m *Dense) Scale(s float64) *Dense {
+	if len(m.data) < 2*serialElemCutoff || Parallelism() == 1 {
+		if km := kmetrics.Load(); km != nil {
+			km.serial.Inc()
+		}
+		for i := range m.data {
+			m.data[i] *= s
+		}
+		return m
+	}
 	parallelRows(len(m.data), serialElemCutoff, func(lo, hi int) {
 		d := m.data[lo:hi]
 		for i := range d {
@@ -124,6 +133,15 @@ func (m *Dense) AddScaled(b *Dense, s float64) *Dense {
 	if m.rows != b.rows || m.cols != b.cols {
 		panic(fmt.Sprintf("mat: AddScaled %dx%d with %dx%d", m.rows, m.cols, b.rows, b.cols))
 	}
+	if len(m.data) < 2*serialElemCutoff || Parallelism() == 1 {
+		if km := kmetrics.Load(); km != nil {
+			km.serial.Inc()
+		}
+		for i, v := range b.data {
+			m.data[i] += s * v
+		}
+		return m
+	}
 	parallelRows(len(m.data), serialElemCutoff, func(lo, hi int) {
 		d, src := m.data[lo:hi], b.data[lo:hi]
 		for i, v := range src {
@@ -136,6 +154,15 @@ func (m *Dense) AddScaled(b *Dense, s float64) *Dense {
 // Apply replaces each element x with f(x) in place and returns m. Large
 // matrices evaluate f concurrently from pool workers, so f must be pure.
 func (m *Dense) Apply(f func(float64) float64) *Dense {
+	if len(m.data) < 2*serialElemCutoff || Parallelism() == 1 {
+		if km := kmetrics.Load(); km != nil {
+			km.serial.Inc()
+		}
+		for i, v := range m.data {
+			m.data[i] = f(v)
+		}
+		return m
+	}
 	parallelRows(len(m.data), serialElemCutoff, func(lo, hi int) {
 		d := m.data[lo:hi]
 		for i, v := range d {
@@ -234,6 +261,16 @@ func MulTo(dst, a, b *Dense) {
 	checkNoAlias("MulTo", dst, a, b)
 	countFLOPs(2 * a.rows * a.cols * b.cols)
 	perRow := 2 * a.cols * b.cols
+	// Small products skip parallelRows entirely: the closure below escapes
+	// into the pool channel, so merely creating it allocates — a real cost
+	// in the autodiff hot loop, where most products are tiny.
+	if 2*a.rows*a.cols*b.cols < serialFLOPCutoff || Parallelism() == 1 {
+		if km := kmetrics.Load(); km != nil {
+			km.serial.Inc()
+		}
+		mulToBlock(dst, a, b, 0, a.rows)
+		return
+	}
 	parallelRows(a.rows, minBlockRows(perRow, serialFLOPCutoff), func(lo, hi int) {
 		mulToBlock(dst, a, b, lo, hi)
 	})
@@ -340,6 +377,13 @@ func MulBTTo(dst, a, b *Dense) {
 	checkNoAlias("MulBTTo", dst, a, b)
 	countFLOPs(2 * a.rows * a.cols * b.rows)
 	perRow := 2 * b.rows * a.cols
+	if 2*a.rows*a.cols*b.rows < serialFLOPCutoff || Parallelism() == 1 {
+		if km := kmetrics.Load(); km != nil {
+			km.serial.Inc()
+		}
+		mulBTToBlock(dst, a, b, 0, a.rows)
+		return
+	}
 	parallelRows(a.rows, minBlockRows(perRow, serialFLOPCutoff), func(lo, hi int) {
 		mulBTToBlock(dst, a, b, lo, hi)
 	})

@@ -179,6 +179,29 @@ func Softmax(v []float64) []float64 {
 	return out
 }
 
+// SoftmaxTo writes the softmax of src into dst (same length), using the
+// exact same max-shifted exponentiation as Softmax so results are
+// bit-identical; it exists so hot loops can reuse a caller-owned buffer.
+// dst and src may alias.
+func SoftmaxTo(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mat: SoftmaxTo lengths %d and %d", len(dst), len(src)))
+	}
+	if len(src) == 0 {
+		return
+	}
+	mx := src[ArgMax(src)]
+	var z float64
+	for i, x := range src {
+		e := math.Exp(x - mx)
+		dst[i] = e
+		z += e
+	}
+	for i := range dst {
+		dst[i] /= z
+	}
+}
+
 // Sigmoid returns the logistic function value for x.
 func Sigmoid(x float64) float64 {
 	if x >= 0 {

@@ -78,6 +78,41 @@ func (l *LSTM) step(t *autodiff.Tape, b *autodiff.Binder, x, h, c *autodiff.Node
 	return hNext, cNext
 }
 
+// lstmScratch holds the reusable constant inputs of a serial training
+// loop: the zero initial state and one one-hot buffer per window position.
+// The tape treats constants as caller-owned, so reusing them across
+// Reset+Rebind passes is free.
+type lstmScratch struct {
+	h0, c0 *mat.Dense
+	xs     []*mat.Dense
+}
+
+func (l *LSTM) newScratch() *lstmScratch {
+	s := &lstmScratch{h0: mat.NewDense(1, l.Hidden), c0: mat.NewDense(1, l.Hidden)}
+	s.xs = make([]*mat.Dense, l.Window)
+	for i := range s.xs {
+		s.xs[i] = mat.NewDense(1, l.Vocab)
+	}
+	return s
+}
+
+// forwardScratch unrolls the LSTM over a window using the scratch's
+// constant buffers and returns the next-event logits node.
+func (l *LSTM) forwardScratch(t *autodiff.Tape, b *autodiff.Binder, window []int, s *lstmScratch) *autodiff.Node {
+	h := t.Constant(s.h0)
+	c := t.Constant(s.c0)
+	for k, e := range window {
+		x := s.xs[k]
+		x.Zero()
+		if e >= 0 && e < l.Vocab {
+			x.Set(0, e, 1)
+		}
+		h, c = l.step(t, b, t.Constant(x), h, c)
+	}
+	logits := t.MatMul(h, b.Node("wy"))
+	return t.AddRowBroadcast(logits, b.Node("by"))
+}
+
 // forward unrolls the LSTM over a window of event ids and returns the
 // next-event logits node.
 func (l *LSTM) forward(t *autodiff.Tape, b *autodiff.Binder, window []int) *autodiff.Node {
@@ -113,15 +148,20 @@ func (l *LSTM) Fit(sequences [][]int) {
 	}
 	opt := autodiff.NewAdam(l.LR)
 	r := rng.New(l.Seed + 3)
+	tape := autodiff.NewTape()
+	binder := autodiff.Bind(tape, l.params)
+	scratch := l.newScratch()
+	lab := make([]int, 1)
 	for e := 0; e < l.Epochs; e++ {
 		r.Shuffle(len(samples), func(i, j int) {
 			samples[i], samples[j] = samples[j], samples[i]
 		})
 		for _, s := range samples {
-			tape := autodiff.NewTape()
-			binder := autodiff.Bind(tape, l.params)
-			logits := l.forward(tape, binder, s.win)
-			loss := tape.SoftmaxCrossEntropy(logits, []int{s.next}, nil)
+			tape.Reset()
+			binder.Rebind(tape, l.params)
+			logits := l.forwardScratch(tape, binder, s.win, scratch)
+			lab[0] = s.next
+			loss := tape.SoftmaxCrossEntropy(logits, lab, nil)
 			tape.Backward(loss)
 			grads := binder.Grads()
 			autodiff.ClipGrads(grads, 5)
@@ -135,9 +175,9 @@ func (l *LSTM) PredictLogits(window []int) []float64 {
 	if l.params == nil {
 		return make([]float64, l.Vocab)
 	}
-	tape := autodiff.NewTape()
-	binder := autodiff.Bind(tape, l.params)
-	out := l.forward(tape, binder, window)
+	s := borrow(l.params)
+	defer s.release()
+	out := l.forward(s.tape, s.binder, window)
 	return append([]float64(nil), out.Value.Row(0)...)
 }
 

@@ -75,6 +75,13 @@ func (m *MLP) Fit(x [][]float64, y []int) {
 	for i := range order {
 		order[i] = i
 	}
+	// One tape, binder and batch buffer serve every step; Reset+Rebind per
+	// batch recycles the pass's nodes and matrix backings (the gradients
+	// are consumed by Step before the next Reset invalidates them).
+	tape := autodiff.NewTape()
+	binder := autodiff.Bind(tape, m.params)
+	var bx *mat.Dense
+	by := make([]int, batch)
 	for e := 0; e < m.Epochs; e++ {
 		r.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for start := 0; start < n; start += batch {
@@ -82,14 +89,16 @@ func (m *MLP) Fit(x [][]float64, y []int) {
 			if end > n {
 				end = n
 			}
-			bx := mat.NewDense(end-start, m.Layers[0])
-			by := make([]int, end-start)
+			if bx == nil || bx.Rows() != end-start {
+				bx = mat.NewDense(end-start, m.Layers[0])
+			}
+			by = by[:end-start]
 			for i := start; i < end; i++ {
 				bx.SetRow(i-start, x[order[i]])
 				by[i-start] = y[order[i]]
 			}
-			tape := autodiff.NewTape()
-			binder := autodiff.Bind(tape, m.params)
+			tape.Reset()
+			binder.Rebind(tape, m.params)
 			logits := m.forward(tape, binder, tape.Constant(bx))
 			loss := tape.SoftmaxCrossEntropy(logits, by, m.ClassWeights)
 			tape.Backward(loss)
@@ -105,11 +114,11 @@ func (m *MLP) Logits(q []float64) []float64 {
 	if m.params == nil {
 		return []float64{0, 0}
 	}
-	tape := autodiff.NewTape()
-	binder := autodiff.Bind(tape, m.params)
+	s := borrow(m.params)
+	defer s.release()
 	x := mat.NewDense(1, len(q))
 	x.SetRow(0, q)
-	out := m.forward(tape, binder, tape.Constant(x))
+	out := m.forward(s.tape, s.binder, s.tape.Constant(x))
 	return append([]float64(nil), out.Value.Row(0)...)
 }
 

@@ -1,0 +1,33 @@
+package nn
+
+import (
+	"sync"
+
+	"fexiot/internal/autodiff"
+)
+
+// infScratch is the pooled inference workspace of the nn models: a tape
+// (with its arena of recycled matrix buffers) and a binder, reset and
+// rebound per call so MLP.Logits and LSTM.PredictLogits stop paying a
+// fresh graph allocation per query. Not safe for concurrent use; borrow
+// from infPool per call.
+type infScratch struct {
+	tape   *autodiff.Tape
+	binder *autodiff.Binder
+}
+
+var infPool = sync.Pool{New: func() any {
+	t := autodiff.NewTape()
+	return &infScratch{tape: t, binder: autodiff.Bind(t, nil)}
+}}
+
+// borrow takes a scratch from the pool, reset and rebound onto params.
+func borrow(params *autodiff.ParamSet) *infScratch {
+	s := infPool.Get().(*infScratch)
+	s.tape.Reset()
+	s.binder.Rebind(s.tape, params)
+	return s
+}
+
+// release returns a scratch to the pool.
+func (s *infScratch) release() { infPool.Put(s) }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fexiot/internal/gnn"
 	"fexiot/internal/graph"
 	"fexiot/internal/mat"
 	"fexiot/internal/obs"
@@ -312,6 +313,10 @@ func (e *Engine) Close() {
 // back to the supervisor for a backed-off restart (the panicked request
 // itself was already answered with ErrPanicked).
 func (e *Engine) workerLoop(ctx context.Context) error {
+	// Each worker owns a long-lived inference workspace: detect requests
+	// run on its recycled tape memory instead of allocating a fresh graph
+	// per request. A restarted worker simply builds a new one.
+	ws := gnn.NewWorkspace()
 	for {
 		select {
 		case <-e.stop:
@@ -320,7 +325,7 @@ func (e *Engine) workerLoop(ctx context.Context) error {
 			return nil
 		case r := <-e.reqs:
 			e.m.queueDepth.Set(float64(len(e.reqs)))
-			if err := e.process(r); err != nil {
+			if err := e.process(r, ws); err != nil {
 				return err
 			}
 		}
@@ -333,20 +338,20 @@ func (e *Engine) workerLoop(ctx context.Context) error {
 // single consistent model even if Publish lands mid-flight. The returned
 // error is non-nil only when inference panicked (the request was still
 // answered); it propagates to the supervisor.
-func (e *Engine) process(r *request) error {
+func (e *Engine) process(r *request, ws *gnn.Workspace) error {
 	if r.ctx != nil && r.ctx.Err() != nil {
 		r.done <- response{err: r.ctx.Err()}
 		return nil
 	}
 	if r.kind == reqDetect && e.opts.BatchSize > 1 {
-		return e.processBatch(r)
+		return e.processBatch(r, ws)
 	}
 	snap := e.snap.Load()
 	if snap == nil {
 		r.done <- response{err: ErrNotReady}
 		return nil
 	}
-	resp, err := e.answer(snap, r)
+	resp, err := e.answer(snap, r, ws)
 	r.done <- resp
 	return err
 }
@@ -354,7 +359,7 @@ func (e *Engine) process(r *request) error {
 // answer runs one request's inference inside the panic-recovery guard: a
 // panic becomes an ErrPanicked response for the caller plus a non-nil
 // error for the supervisor, never an unwound process.
-func (e *Engine) answer(snap *Snapshot, r *request) (resp response, err error) {
+func (e *Engine) answer(snap *Snapshot, r *request, ws *gnn.Workspace) (resp response, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			e.m.panics.Inc()
@@ -369,7 +374,7 @@ func (e *Engine) answer(snap *Snapshot, r *request) (resp response, err error) {
 	case reqExplain:
 		return response{expl: snap.Explain(r.g), seq: snap.Seq()}, nil
 	default:
-		return response{verdict: snap.Detect(r.g), seq: snap.Seq()}, nil
+		return response{verdict: snap.DetectWith(ws, r.g), seq: snap.Seq()}, nil
 	}
 }
 
@@ -393,7 +398,7 @@ func (e *Engine) detectBatch(snap *Snapshot, gs []*graph.Graph) (vs []Verdict, e
 // batch with one DetectBatch pass. Requests that do not fit the batch
 // (explain, different shape) are answered individually afterwards by the
 // same worker. Every held request is answered even when a pass panics.
-func (e *Engine) processBatch(first *request) error {
+func (e *Engine) processBatch(first *request, ws *gnn.Workspace) error {
 	batch := []*request{first}
 	var leftover []*request
 	shape := first.g.N()
@@ -447,7 +452,7 @@ fill:
 		}
 	}
 	for _, r := range leftover {
-		if err := e.process(r); err != nil && failErr == nil {
+		if err := e.process(r, ws); err != nil && failErr == nil {
 			failErr = err
 		}
 	}

@@ -93,6 +93,14 @@ func (s *Snapshot) Detect(g *graph.Graph) Verdict {
 	return s.verdictFromEmbedding(z)
 }
 
+// DetectWith classifies one graph using a caller-owned inference workspace,
+// the zero-allocation path long-lived workers take: the forward pass runs
+// entirely on the workspace's recycled tape memory and the embedding is
+// consumed before the call returns. The verdict is bit-identical to Detect.
+func (s *Snapshot) DetectWith(ws *gnn.Workspace, g *graph.Graph) Verdict {
+	return s.verdictFromEmbedding(ws.Embed(s.det.Model, g))
+}
+
 // DetectBatch classifies a batch in one fan-out forward pass (gnn.EmbedAll
 // under the shared mat parallelism bound). Each graph's embedding — and
 // hence its verdict — is bit-identical to a standalone Detect call; the

@@ -39,7 +39,9 @@ import (
 
 // Engine is the slice of serve.Engine a session needs: snapshot-isolated
 // detection plus the live snapshot's identity. *serve.Engine satisfies it;
-// tests substitute stubs.
+// tests substitute stubs. Going through the engine means rolling verdicts
+// inherit its per-worker inference workspaces (DESIGN.md §4.13): a
+// session's re-scores run on recycled tape memory, not fresh graphs.
 type Engine interface {
 	Detect(ctx context.Context, g *graph.Graph) (serve.Verdict, uint64, error)
 	SnapshotSeq() (uint64, bool)

@@ -113,14 +113,20 @@ BAD=$(grep -cv '^2' "$WORKDIR"/codes.* 2>/dev/null | awk -F: '{s+=$2} END {print
 [ "$BAD" -eq 0 ] || { echo "serve-smoke: $BAD of $TOTAL storm requests were non-2xx:"; \
     sort "$WORKDIR"/codes.* | uniq -c; exit 1; }
 
-# The serve metric families must all be live on /metrics.
+# The serve metric families must all be live on /metrics, and so must the
+# matrix-arena family (training + the storm's inference both lease from it).
 curl -sf "http://$ADDR/metrics" >"$WORKDIR/metrics.txt"
 for metric in fexiot_serve_request_duration_seconds fexiot_serve_inflight \
     fexiot_serve_queue_depth fexiot_serve_snapshot_age_seconds \
-    fexiot_serve_snapshot_seq fexiot_serve_snapshots_published_total; do
+    fexiot_serve_snapshot_seq fexiot_serve_snapshots_published_total \
+    fexiot_mat_arena_leases_total fexiot_mat_arena_hits_total \
+    fexiot_mat_arena_bytes_pooled; do
     grep -q "^# TYPE $metric " "$WORKDIR/metrics.txt" \
         || { echo "serve-smoke: $metric missing from /metrics"; cat "$WORKDIR/metrics.txt"; exit 1; }
 done
+grep -q '^fexiot_mat_arena_leases_total [1-9]' "$WORKDIR/metrics.txt" \
+    || { echo "serve-smoke: arena never leased (counter zero or missing):"; \
+         grep fexiot_mat_arena "$WORKDIR/metrics.txt" || true; exit 1; }
 grep -q '^fexiot_serve_request_duration_seconds_count{endpoint="detect"} [1-9]' "$WORKDIR/metrics.txt" \
     || { echo "serve-smoke: no detect latency samples recorded"; \
          grep fexiot_serve_request "$WORKDIR/metrics.txt" || true; exit 1; }
